@@ -1,0 +1,138 @@
+package conduit_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// paper-vs-measured results). Each bench prints its table once, then
+// reports the wall-time of regenerating it:
+//
+//	go test -bench=. -benchmem
+//
+// benchScale sets the workload sizes; raise it (-ldflags is not needed,
+// the experiments CLI accepts -scale) for longer, closer-to-paper streams.
+
+import (
+	"testing"
+
+	conduit "conduit"
+)
+
+const benchScale = 2
+
+// benchHarness memoizes one Experiments instance per scale across benches
+// so shared sweeps (Figs. 5/7a/7b/9) run once.
+var benchHarness = map[int]*conduit.Experiments{}
+
+func harness(scale int) *conduit.Experiments {
+	if e, ok := benchHarness[scale]; ok {
+		return e
+	}
+	e := conduit.NewExperiments(conduit.DefaultConfig(), scale)
+	benchHarness[scale] = e
+	return e
+}
+
+func benchTable(b *testing.B, fn func() (*conduit.Table, error)) {
+	b.Helper()
+	tab, err := fn()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + tab.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Characteristics regenerates Table 3 (workload
+// characteristics: vectorizable %, reuse, op mix).
+func BenchmarkTable3Characteristics(b *testing.B) {
+	benchTable(b, harness(benchScale).Table3)
+}
+
+// BenchmarkFig4CaseStudy regenerates Fig. 4 (the §3.1 case study: OSP vs
+// ISP vs IFP vs naive IFP+ISP per workload class).
+func BenchmarkFig4CaseStudy(b *testing.B) {
+	benchTable(b, harness(benchScale).Fig4)
+}
+
+// BenchmarkFig5Motivation regenerates Fig. 5 (speedups of the prior
+// techniques and Ideal over CPU, §3.2).
+func BenchmarkFig5Motivation(b *testing.B) {
+	benchTable(b, harness(benchScale).Fig5)
+}
+
+// BenchmarkFig7aSpeedup regenerates Fig. 7(a) (speedup over CPU with
+// Conduit, §6.1).
+func BenchmarkFig7aSpeedup(b *testing.B) {
+	benchTable(b, harness(benchScale).Fig7a)
+}
+
+// BenchmarkFig7bEnergy regenerates Fig. 7(b) (energy normalized to CPU
+// with the movement share, §6.2).
+func BenchmarkFig7bEnergy(b *testing.B) {
+	benchTable(b, harness(benchScale).Fig7b)
+}
+
+// BenchmarkFig8TailLatency regenerates Fig. 8 (p99/p99.99 latencies of
+// Ideal/Conduit/BW/DM on LLaMA2 inference and jacobi-1d, §6.3).
+func BenchmarkFig8TailLatency(b *testing.B) {
+	benchTable(b, harness(benchScale).Fig8)
+}
+
+// BenchmarkFig9OffloadingDecisions regenerates Fig. 9 (fraction of
+// instructions per computation resource, §6.4).
+func BenchmarkFig9OffloadingDecisions(b *testing.B) {
+	benchTable(b, harness(benchScale).Fig9)
+}
+
+// BenchmarkFig10Timeline regenerates Fig. 10 (the instruction-to-resource
+// map over a window of LLaMA2 inference, §6.5).
+func BenchmarkFig10Timeline(b *testing.B) {
+	benchTable(b, func() (*conduit.Table, error) {
+		return harness(benchScale).Fig10(12000, 72)
+	})
+}
+
+// BenchmarkOverheadAnalysis regenerates the §4.5 runtime-overhead numbers.
+func BenchmarkOverheadAnalysis(b *testing.B) {
+	benchTable(b, harness(benchScale).Overhead)
+}
+
+// BenchmarkAblationCostFeatures regenerates the cost-function feature
+// ablation (DESIGN.md ablation index).
+func BenchmarkAblationCostFeatures(b *testing.B) {
+	benchTable(b, harness(benchScale).AblationCostFeatures)
+}
+
+// BenchmarkAblationVectorWidth regenerates the vector-width/page-size
+// sweep (the -force-vector-width design point of §4.3.1).
+func BenchmarkAblationVectorWidth(b *testing.B) {
+	benchTable(b, harness(benchScale).AblationVectorWidth)
+}
+
+// BenchmarkAblationChannels regenerates the flash-channel sweep.
+func BenchmarkAblationChannels(b *testing.B) {
+	benchTable(b, harness(benchScale).AblationChannels)
+}
+
+// BenchmarkOffloaderDecision measures the raw per-instruction offloading
+// path (feature collection + policy + transformation) in host time —
+// the engineering cost of the runtime half.
+func BenchmarkOffloaderDecision(b *testing.B) {
+	sys := conduit.NewSystem(conduit.DefaultConfig())
+	src := quickstartSource(8 * 16384)
+	cfg := sys.Config()
+	c, err := conduit.Compile(src, &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunCompiled(c, "Conduit"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulator. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the expected qualitative shape.
+//
+// Usage:
+//
+//	experiments [-scale N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|table3|overhead|ablation|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	conduit "conduit"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "workload scale factor (1 = smoke test)")
+	window := flag.Int("fig10window", 12000, "instruction window for Fig 10")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	e := conduit.NewExperiments(conduit.DefaultConfig(), *scale)
+
+	type exp struct {
+		name string
+		run  func() (*conduit.Table, error)
+	}
+	exps := []exp{
+		{"table3", e.Table3},
+		{"fig4", e.Fig4},
+		{"fig5", e.Fig5},
+		{"fig7a", e.Fig7a},
+		{"fig7b", e.Fig7b},
+		{"fig8", e.Fig8},
+		{"fig9", e.Fig9},
+		{"fig10", func() (*conduit.Table, error) { return e.Fig10(*window, 72) }},
+		{"overhead", e.Overhead},
+		{"ablation", e.AblationCostFeatures},
+		{"ablation-width", e.AblationVectorWidth},
+		{"ablation-channels", e.AblationChannels},
+	}
+	ran := false
+	for _, x := range exps {
+		if which != "all" && which != x.name {
+			continue
+		}
+		ran = true
+		t, err := x.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", x.name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,305 @@
+// Package conduit is the public API of the Conduit reproduction: a
+// programmer-transparent near-data-processing framework for SSDs
+// (Nadig et al., HPCA 2026).
+//
+// The workflow mirrors the paper's two halves:
+//
+//  1. Compile-time preprocessing: express the application as loop nests
+//     over arrays (Source), and Compile auto-vectorizes it into
+//     page-aligned SIMD instructions with embedded metadata.
+//  2. Runtime offloading: a System deploys the binary to a simulated
+//     Conduit-capable SSD over the NVMe firmware-update path and executes
+//     it under an offloading policy — Conduit's holistic cost function or
+//     any of the paper's baselines — returning timing, energy, and
+//     per-instruction offloading decisions.
+//
+// A minimal end-to-end use:
+//
+//	sys := conduit.NewSystem(conduit.DefaultConfig())
+//	res, err := sys.Run(src, "Conduit")
+//
+// The experiments in cmd/experiments and bench_test.go regenerate every
+// table and figure of the paper's evaluation through this API.
+package conduit
+
+import (
+	"fmt"
+
+	"conduit/internal/compiler"
+	"conduit/internal/config"
+	"conduit/internal/host"
+	"conduit/internal/isa"
+	"conduit/internal/nvme"
+	"conduit/internal/offload"
+	"conduit/internal/sim"
+	"conduit/internal/ssd"
+	"conduit/internal/stats"
+)
+
+// Re-exported building blocks for constructing applications.
+type (
+	// Config is the simulated system configuration (Table 2).
+	Config = config.Config
+	// Source is an application: arrays plus loop nests.
+	Source = compiler.Source
+	// Stmt is a top-level statement (Loop or ScalarWork).
+	Stmt = compiler.Stmt
+	// Array declares application data.
+	Array = compiler.Array
+	// Loop is an affine loop nest over lanes.
+	Loop = compiler.Loop
+	// Assign is one loop-body statement.
+	Assign = compiler.Assign
+	// ScalarWork is an inherently sequential control region.
+	ScalarWork = compiler.ScalarWork
+	// Expr is a loop-body expression.
+	Expr = compiler.Expr
+	// Ref reads an array at the loop index plus an offset.
+	Ref = compiler.Ref
+	// Lit is a broadcast literal.
+	Lit = compiler.Lit
+	// Bin is a binary operation.
+	Bin = compiler.Bin
+	// Un is a unary operation.
+	Un = compiler.Un
+	// Cond is lanewise predication.
+	Cond = compiler.Cond
+	// Compiled is a vectorized program with metadata.
+	Compiled = compiler.Compiled
+	// Decision is one runtime offloading decision.
+	Decision = ssd.Decision
+	// Reservoir holds latency samples with exact percentiles.
+	Reservoir = stats.Reservoir
+	// Table renders experiment output.
+	Table = stats.Table
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+)
+
+// Source-level operations.
+const (
+	OpAdd = compiler.OpAdd
+	OpSub = compiler.OpSub
+	OpMul = compiler.OpMul
+	OpDiv = compiler.OpDiv
+	OpAnd = compiler.OpAnd
+	OpOr  = compiler.OpOr
+	OpXor = compiler.OpXor
+	OpNot = compiler.OpNot
+	OpShl = compiler.OpShl
+	OpShr = compiler.OpShr
+	OpLT  = compiler.OpLT
+	OpGT  = compiler.OpGT
+	OpEQ  = compiler.OpEQ
+	OpMin = compiler.OpMin
+	OpMax = compiler.OpMax
+)
+
+// DefaultConfig returns the evaluated Table-2 configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// Compile runs Conduit's compile-time preprocessing for the given device
+// configuration.
+func Compile(src *Source, cfg *Config) (*Compiled, error) {
+	return compiler.Compile(src, cfg.SSD.PageSize)
+}
+
+// Policies lists every evaluated execution policy, in the order the
+// paper's figures present them.
+func Policies() []string {
+	return []string{"CPU", "GPU", "ISP", "PuD-SSD", "Flash-Cosmos", "Ares-Flash",
+		"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"}
+}
+
+// devicePolicy returns the in-SSD policy implementation by name, or nil
+// for host/ideal runners.
+func devicePolicy(name string) offload.Policy {
+	switch name {
+	case "Conduit":
+		return offload.Conduit{}
+	case "DM-Offloading":
+		return offload.DMOffloading{}
+	case "BW-Offloading":
+		return offload.BWOffloading{}
+	case "ISP":
+		return offload.ISPOnly{}
+	case "PuD-SSD":
+		return offload.PuDSSD{}
+	case "Flash-Cosmos":
+		return offload.FlashCosmos{}
+	case "Ares-Flash":
+		return offload.AresFlash{}
+	case "IFP+ISP":
+		return &offload.NaiveCombo{}
+	case "Conduit-noqueue":
+		return offload.Ablated{DropQueue: true}
+	case "Conduit-nodep":
+		return offload.Ablated{DropDep: true}
+	case "Conduit-nomove":
+		return offload.Ablated{DropMove: true}
+	}
+	return nil
+}
+
+// RunResult is the unified outcome of executing a workload under one
+// policy (host, in-SSD, or ideal).
+type RunResult struct {
+	Policy         string
+	Elapsed        Time
+	ComputeEnergy  float64 // joules
+	MovementEnergy float64 // joules
+	InstLatencies  *Reservoir
+	// Decisions is the offloading trace; nil for host executions.
+	Decisions []Decision
+	// OverheadTime is the runtime offloader overhead (§4.5); zero for
+	// host and ideal executions.
+	OverheadTime Time
+	// Device exposes the drive after an in-SSD run for inspection; nil
+	// otherwise.
+	Device *ssd.Device
+}
+
+// TotalEnergy is compute plus movement energy in joules.
+func (r *RunResult) TotalEnergy() float64 { return r.ComputeEnergy + r.MovementEnergy }
+
+// System compiles, deploys, and executes applications on a simulated
+// Conduit-capable SSD and on the host baselines.
+type System struct {
+	cfg Config
+}
+
+// NewSystem returns a System for cfg.
+func NewSystem(cfg Config) *System { return &System{cfg: cfg} }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Run compiles src and executes it under the named policy (see Policies).
+func (s *System) Run(src *Source, policy string) (*RunResult, error) {
+	c, err := Compile(src, &s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunCompiled(c, policy)
+}
+
+// RunCompiled executes an already-compiled program under the named policy.
+// Each call deploys onto a fresh simulated drive, since execution consumes
+// the loaded data image.
+func (s *System) RunCompiled(c *Compiled, policy string) (*RunResult, error) {
+	switch policy {
+	case "CPU", "GPU":
+		kind := host.CPU
+		if policy == "GPU" {
+			kind = host.GPU
+		}
+		res, _, err := host.New(&s.cfg, kind).Run(c.Prog, c.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{
+			Policy:         policy,
+			Elapsed:        res.Elapsed,
+			ComputeEnergy:  res.ComputeEnergy,
+			MovementEnergy: res.MovementEnergy,
+			InstLatencies:  res.InstLatencies,
+		}, nil
+	case "Ideal":
+		dev, err := s.deploy(c)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := dev.RunIdeal()
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{
+			Policy:         policy,
+			Elapsed:        res.Elapsed,
+			ComputeEnergy:  res.ComputeEnergy,
+			MovementEnergy: res.MovementEnergy,
+			InstLatencies:  res.InstLatencies,
+			Decisions:      res.Decisions,
+			Device:         dev,
+		}, nil
+	default:
+		pol := devicePolicy(policy)
+		if pol == nil {
+			return nil, fmt.Errorf("conduit: unknown policy %q (see Policies())", policy)
+		}
+		dev, err := s.deploy(c)
+		if err != nil {
+			return nil, err
+		}
+		dev.EnterComputationMode()
+		res, err := dev.Run(pol)
+		dev.ExitComputationMode()
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{
+			Policy:         policy,
+			Elapsed:        res.Elapsed,
+			ComputeEnergy:  res.ComputeEnergy,
+			MovementEnergy: res.MovementEnergy,
+			InstLatencies:  res.InstLatencies,
+			Decisions:      res.Decisions,
+			OverheadTime:   res.OverheadTime,
+			Device:         dev,
+		}, nil
+	}
+}
+
+// deploy provisions a fresh drive and installs the program through the
+// NVMe path: stage inputs via I/O writes, transfer the binary with
+// fw-download, and activate it with the flagged fw-commit (§4.4).
+func (s *System) deploy(c *Compiled) (*ssd.Device, error) {
+	cfg := s.cfg
+	dev := ssd.New(&cfg)
+	ctrl := nvme.NewController(dev)
+	for p, data := range c.Inputs {
+		if err := ctrl.WritePage(p, data); err != nil {
+			return nil, err
+		}
+	}
+	img, err := nvme.MarshalProgram(c.Prog)
+	if err != nil {
+		return nil, err
+	}
+	const chunk = 64 << 10
+	for off := 0; off < len(img); off += chunk {
+		end := off + chunk
+		if end > len(img) {
+			end = len(img)
+		}
+		if err := ctrl.FWDownload(img[off:end], off); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctrl.FWCommit(true); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+// ResourceName names an SSD computation resource index in Fractions order.
+func ResourceName(i int) string { return isa.Resource(i).String() }
+
+// NumResources is the number of SSD computation resources.
+const NumResources = isa.NumResources
+
+// Fractions reports the share of instructions offloaded to each resource
+// in a decision trace (Fig. 9).
+func Fractions(decisions []Decision) [NumResources]float64 {
+	var out [NumResources]float64
+	if len(decisions) == 0 {
+		return out
+	}
+	for _, d := range decisions {
+		out[d.Resource]++
+	}
+	for i := range out {
+		out[i] /= float64(len(decisions))
+	}
+	return out
+}

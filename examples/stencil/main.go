@@ -1,0 +1,61 @@
+// Stencil example: the polybench heat-3d and jacobi-1d solvers — the
+// workloads where GPU and PuD-SSD shine and where the cost-function
+// ablation is most visible. The example sweeps the flash-channel count to
+// show sensitivity to SSD-internal parallelism, then prints the
+// cost-function ablation.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	conduit "conduit"
+	"conduit/internal/workloads"
+)
+
+func main() {
+	const scale = 2
+	cfg := conduit.DefaultConfig()
+
+	for _, w := range []struct {
+		name string
+		src  *conduit.Source
+	}{
+		{"heat-3d", workloads.Heat3D(scale)},
+		{"jacobi-1d", workloads.Jacobi1D(scale)},
+	} {
+		compiled, err := conduit.Compile(w.src, &cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys := conduit.NewSystem(cfg)
+		fmt.Printf("== %s (%d instructions) ==\n", w.name, len(compiled.Prog.Insts))
+		var cpu conduit.Time
+		for _, policy := range []string{"CPU", "GPU", "PuD-SSD", "DM-Offloading", "Conduit"} {
+			res, err := sys.RunCompiled(compiled, policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if policy == "CPU" {
+				cpu = res.Elapsed
+			}
+			fmt.Printf("  %-15s elapsed=%-10v speedup=%.2f\n",
+				policy, res.Elapsed, float64(cpu)/float64(res.Elapsed))
+		}
+		fmt.Println()
+	}
+
+	e := conduit.NewExperiments(conduit.DefaultConfig(), scale)
+	ablation, err := e.AblationCostFeatures()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ablation)
+	channels, err := e.AblationChannels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(channels)
+}

@@ -1,0 +1,504 @@
+package conduit
+
+import (
+	"fmt"
+	"strings"
+
+	"conduit/internal/compiler"
+	"conduit/internal/isa"
+	"conduit/internal/stats"
+	"conduit/internal/workloads"
+)
+
+// Experiments regenerates every table and figure of the paper's
+// motivation and evaluation sections (see DESIGN.md's per-experiment
+// index). Runs are memoized, so figures sharing the same sweeps (Figs. 5,
+// 7a, 7b, 9) execute each workload x policy pair once.
+type Experiments struct {
+	sys   *System
+	scale int
+	cache map[string]*RunResult
+	comp  map[string]*Compiled
+}
+
+// NewExperiments builds a harness at the given workload scale factor
+// (1 = smoke-test sizes; larger approaches the paper's stream lengths).
+func NewExperiments(cfg Config, scale int) *Experiments {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Experiments{
+		sys:   NewSystem(cfg),
+		scale: scale,
+		cache: make(map[string]*RunResult),
+		comp:  make(map[string]*Compiled),
+	}
+}
+
+// Workloads lists the six evaluated workload names in figure order.
+func (e *Experiments) Workloads() []string {
+	names := make([]string, 0, 6)
+	for _, w := range workloads.All(1) {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func (e *Experiments) compiled(workload string) (*Compiled, error) {
+	if c, ok := e.comp[workload]; ok {
+		return c, nil
+	}
+	for _, w := range workloads.All(e.scale) {
+		if w.Name == workload {
+			c, err := Compile(w.Source, &e.sys.cfg)
+			if err != nil {
+				return nil, err
+			}
+			e.comp[workload] = c
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("conduit: unknown workload %q", workload)
+}
+
+// Run executes (workload, policy), memoized.
+func (e *Experiments) Run(workload, policy string) (*RunResult, error) {
+	key := workload + "|" + policy
+	if r, ok := e.cache[key]; ok {
+		return r, nil
+	}
+	c, err := e.compiled(workload)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.sys.RunCompiled(c, policy)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", workload, policy, err)
+	}
+	e.cache[key] = r
+	return r, nil
+}
+
+// Speedup reports workload's speedup under policy, normalized to CPU.
+func (e *Experiments) Speedup(workload, policy string) (float64, error) {
+	cpu, err := e.Run(workload, "CPU")
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.Run(workload, policy)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cpu.Elapsed) / float64(r.Elapsed), nil
+}
+
+// --- Fig. 4: case study ------------------------------------------------------
+
+// caseStudyClass builds the three §3.1 workload classes as sources.
+func caseStudyClass(class string, scale int) *Source {
+	n := scale * 16 * (16 << 10) // streaming-sized: exceeds host cache and SSD DRAM
+	data := func(seed uint64) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(uint64(i)*seed + seed)
+		}
+		return b
+	}
+	switch class {
+	case "I/O-Intensive":
+		// Bitmap-scan style: bulk bitwise operations over streamed data.
+		return &Source{
+			Name: "io-intensive",
+			Arrays: []*Array{
+				{Name: "a", Elem: 1, Len: n, Input: true, Data: data(3)},
+				{Name: "b", Elem: 1, Len: n, Input: true, Data: data(5)},
+				{Name: "out", Elem: 1, Len: n},
+			},
+			Stmts: []compiler.Stmt{
+				Loop{Name: "scan", N: n, Body: []Assign{
+					{Target: "out", Value: Bin{Op: OpAnd, X: Ref{Name: "a"}, Y: Ref{Name: "b"}}},
+					{Target: "out", Value: Bin{Op: OpOr, X: Ref{Name: "out"}, Y: Bin{Op: OpXor, X: Ref{Name: "a"}, Y: Ref{Name: "b"}}}},
+				}},
+			},
+		}
+	case "More Compute-Intensive":
+		// Encryption/matmul style: multiply-heavy with reuse.
+		src := &Source{
+			Name: "compute-intensive",
+			Arrays: []*Array{
+				{Name: "x", Elem: 1, Len: n, Input: true, Data: data(7)},
+				{Name: "w", Elem: 1, Len: n, Input: true, Data: data(11)},
+				{Name: "acc", Elem: 1, Len: n},
+			},
+		}
+		for k := 0; k < 6; k++ {
+			src.Stmts = append(src.Stmts, Loop{Name: fmt.Sprintf("mac%d", k), N: n, Body: []Assign{
+				{Target: "acc", Value: Bin{Op: OpAdd,
+					X: Ref{Name: "acc"},
+					Y: Bin{Op: OpMul, X: Ref{Name: "x"}, Y: Ref{Name: "w"}}}},
+			}})
+		}
+		src.Stmts = append(src.Stmts, ScalarWork{Name: "control", Cycles: int64(n)})
+		return src
+	default: // "Mixed"
+		// Aggregation/sort style: arithmetic plus predication plus
+		// control.
+		return &Source{
+			Name: "mixed",
+			Arrays: []*Array{
+				{Name: "v", Elem: 1, Len: n, Input: true, Data: data(13)},
+				{Name: "k", Elem: 1, Len: n, Input: true, Data: data(17)},
+				{Name: "agg", Elem: 1, Len: n},
+			},
+			Stmts: []compiler.Stmt{
+				Loop{Name: "filter", N: n, Body: []Assign{
+					{Target: "agg", Value: Cond{
+						Mask: Bin{Op: OpGT, X: Ref{Name: "k"}, Y: Lit{Value: 64}},
+						A:    Bin{Op: OpAdd, X: Ref{Name: "agg"}, Y: Ref{Name: "v"}},
+						B:    Ref{Name: "agg"},
+					}},
+				}},
+				Loop{Name: "merge", N: n / 8, ForceScalar: true, Body: []Assign{
+					{Target: "agg", Value: Bin{Op: OpAdd, X: Ref{Name: "agg"}, Y: Ref{Name: "k", Offset: 1}}},
+				}},
+				Loop{Name: "combine", N: n, Body: []Assign{
+					{Target: "agg", Value: Bin{Op: OpXor, X: Ref{Name: "agg"}, Y: Bin{Op: OpAnd, X: Ref{Name: "v"}, Y: Ref{Name: "k"}}}},
+				}},
+			},
+		}
+	}
+}
+
+// Fig4 reproduces the §3.1 case study: OSP, ISP, IFP, and naive IFP+ISP
+// execution time per workload class, normalized to OSP (lower is better).
+// The movement column reports each run's data-movement energy share,
+// standing in for the stacked breakdown of the original figure.
+func (e *Experiments) Fig4() (*Table, error) {
+	classes := []string{"I/O-Intensive", "More Compute-Intensive", "Mixed"}
+	models := []string{"CPU", "ISP", "Ares-Flash", "IFP+ISP"}
+	labels := []string{"OSP", "ISP", "IFP", "IFP+ISP"}
+	t := stats.NewTable("Fig 4: case study — execution time normalized to OSP (lower is better)",
+		"class", "model", "norm_time", "movement_share")
+	for _, class := range classes {
+		src := caseStudyClass(class, e.scale)
+		var base float64
+		for i, model := range models {
+			r, err := e.sys.Run(src, model)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = float64(r.Elapsed)
+			}
+			share := 0.0
+			if tot := r.TotalEnergy(); tot > 0 {
+				share = r.MovementEnergy / tot
+			}
+			t.AddRowf(class, labels[i], float64(r.Elapsed)/base, share)
+		}
+	}
+	return t, nil
+}
+
+// --- Fig. 5 / Fig. 7(a): speedups -------------------------------------------
+
+// fig5Policies is the motivation-study lineup (§3.2, no Conduit).
+var fig5Policies = []string{"GPU", "ISP", "PuD-SSD", "Flash-Cosmos", "Ares-Flash",
+	"BW-Offloading", "DM-Offloading", "Ideal"}
+
+// fig7Policies adds Conduit (§6.1).
+var fig7Policies = []string{"GPU", "ISP", "PuD-SSD", "Flash-Cosmos", "Ares-Flash",
+	"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"}
+
+func (e *Experiments) speedupTable(title string, policies []string) (*Table, error) {
+	cols := append([]string{"workload"}, policies...)
+	t := stats.NewTable(title, cols...)
+	geo := make(map[string][]float64)
+	for _, w := range e.Workloads() {
+		row := []interface{}{w}
+		for _, p := range policies {
+			s, err := e.Speedup(w, p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, s)
+			geo[p] = append(geo[p], s)
+		}
+		t.AddRowf(row...)
+	}
+	row := []interface{}{"GMEAN"}
+	for _, p := range policies {
+		row = append(row, stats.GeoMean(geo[p]))
+	}
+	t.AddRowf(row...)
+	return t, nil
+}
+
+// Fig5 reproduces the motivation study: speedup of the prior techniques
+// and the Ideal policy over CPU (§3.2).
+func (e *Experiments) Fig5() (*Table, error) {
+	return e.speedupTable("Fig 5: speedup over CPU (motivation, prior techniques)", fig5Policies)
+}
+
+// Fig7a reproduces the main performance result: speedup over CPU with
+// Conduit included (§6.1).
+func (e *Experiments) Fig7a() (*Table, error) {
+	return e.speedupTable("Fig 7(a): speedup over CPU", fig7Policies)
+}
+
+// --- Fig. 7(b): energy --------------------------------------------------------
+
+// Fig7b reproduces the energy result: consumption normalized to CPU with
+// the data-movement share of each bar (§6.2).
+func (e *Experiments) Fig7b() (*Table, error) {
+	policies := append([]string{"CPU"}, fig7Policies...)
+	cols := append([]string{"workload"}, policies...)
+	t := stats.NewTable("Fig 7(b): energy normalized to CPU (movement share in parentheses)", cols...)
+	for _, w := range e.Workloads() {
+		cpu, err := e.Run(w, "CPU")
+		if err != nil {
+			return nil, err
+		}
+		base := cpu.TotalEnergy()
+		row := []interface{}{w}
+		for _, p := range policies {
+			r, err := e.Run(w, p)
+			if err != nil {
+				return nil, err
+			}
+			tot := r.TotalEnergy()
+			share := 0.0
+			if tot > 0 {
+				share = r.MovementEnergy / tot
+			}
+			row = append(row, fmt.Sprintf("%.3f (%.0f%%)", tot/base, 100*share))
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+// --- Fig. 8: tail latency -----------------------------------------------------
+
+// Fig8 reproduces the tail-latency comparison: p99 and p99.99 per-request
+// latencies of Ideal, Conduit, BW-Offloading, and DM-Offloading on LLaMA2
+// inference and jacobi-1d (§6.3).
+func (e *Experiments) Fig8() (*Table, error) {
+	t := stats.NewTable("Fig 8: tail latency (µs)",
+		"workload", "policy", "p99_us", "p9999_us")
+	for _, w := range []string{"LlaMA2 Inference", "jacobi-1d"} {
+		for _, p := range []string{"Ideal", "Conduit", "BW-Offloading", "DM-Offloading"} {
+			r, err := e.Run(w, p)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(w, p,
+				float64(r.InstLatencies.P99())/1e3,
+				float64(r.InstLatencies.P9999())/1e3)
+		}
+	}
+	return t, nil
+}
+
+// --- Fig. 9: offloading decisions --------------------------------------------
+
+// Fig9 reproduces the resource-utilization breakdown: the fraction of
+// instructions each policy offloads to ISP, PuD-SSD, and IFP (§6.4).
+func (e *Experiments) Fig9() (*Table, error) {
+	t := stats.NewTable("Fig 9: fraction of instructions per computation resource",
+		"workload", "policy", "ISP", "PuD-SSD", "IFP")
+	for _, w := range e.Workloads() {
+		for _, p := range []string{"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"} {
+			r, err := e.Run(w, p)
+			if err != nil {
+				return nil, err
+			}
+			fr := Fractions(r.Decisions)
+			t.AddRowf(w, p, fr[isa.ResISP], fr[isa.ResPuD], fr[isa.ResIFP])
+		}
+	}
+	return t, nil
+}
+
+// --- Fig. 10: instruction-to-resource timeline --------------------------------
+
+// Fig10 reproduces the execution-trace analysis: for a window of LLaMA2
+// inference instructions, the operation stream and the resource each
+// policy chose, rendered as per-bucket strips (I = ISP, P = PuD, F = IFP;
+// the op strip shows the dominant operation class per bucket).
+func (e *Experiments) Fig10(window, buckets int) (*Table, error) {
+	if buckets <= 0 {
+		buckets = 60
+	}
+	policies := []string{"BW-Offloading", "DM-Offloading", "Conduit"}
+	t := stats.NewTable(
+		fmt.Sprintf("Fig 10: LLaMA2 inference instruction->resource map (%d-instruction window)", window),
+		"series", "strip")
+	var opsRow string
+	for i, p := range policies {
+		r, err := e.Run("LlaMA2 Inference", p)
+		if err != nil {
+			return nil, err
+		}
+		ds := r.Decisions
+		if window > 0 && len(ds) > window {
+			ds = ds[:window]
+		}
+		if i == 0 {
+			opsRow = opClassStrip(ds, buckets)
+			t.AddRow("operations", opsRow)
+		}
+		t.AddRow(p, resourceStrip(ds, buckets))
+	}
+	return t, nil
+}
+
+// opClassStrip samples the instruction stream evenly and renders one
+// glyph per sampled instruction's operation class: b=bitwise,
+// a=arithmetic, p=predication, m=move/shuffle, r=reduction, c=control.
+func opClassStrip(ds []Decision, samples int) string {
+	if len(ds) == 0 {
+		return ""
+	}
+	glyphs := map[isa.Class]byte{
+		isa.ClassBitwise: 'b', isa.ClassArithmetic: 'a', isa.ClassPredication: 'p',
+		isa.ClassMove: 'm', isa.ClassReduction: 'r', isa.ClassControl: 'c',
+	}
+	var b strings.Builder
+	for i := 0; i < samples; i++ {
+		b.WriteByte(glyphs[ds[i*len(ds)/samples].Op.Class()])
+	}
+	return b.String()
+}
+
+// resourceStrip samples the stream evenly and renders the chosen resource
+// per sampled instruction, preserving the interleaving texture Fig. 10
+// visualizes.
+func resourceStrip(ds []Decision, samples int) string {
+	if len(ds) == 0 {
+		return ""
+	}
+	glyphs := [NumResources]byte{'I', 'P', 'F'}
+	var b strings.Builder
+	for i := 0; i < samples; i++ {
+		b.WriteByte(glyphs[ds[i*len(ds)/samples].Resource])
+	}
+	return b.String()
+}
+
+// --- Table 3 -------------------------------------------------------------------
+
+// Table3 reproduces the workload-characteristics table: vectorizable code
+// percentage, average reuse, and the latency-band operation mix.
+func (e *Experiments) Table3() (*Table, error) {
+	t := stats.NewTable("Table 3: workload characteristics",
+		"workload", "vectorizable_%", "avg_reuse", "low_%", "medium_%", "high_%", "instructions")
+	for _, w := range workloads.All(e.scale) {
+		c, err := e.compiled(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		ch := workloads.Characterize(w.Name, c)
+		t.AddRowf(ch.Name, ch.VectorizablePct, ch.AvgReuse, ch.LowPct, ch.MediumPct, ch.HighPct, ch.Instructions)
+	}
+	return t, nil
+}
+
+// --- §4.5 overheads --------------------------------------------------------------
+
+// Overhead reproduces the runtime-overhead analysis: mean and max
+// per-instruction offloader latency and the metadata storage footprint.
+func (e *Experiments) Overhead() (*Table, error) {
+	t := stats.NewTable("§4.5: Conduit runtime overheads",
+		"workload", "mean_us_per_inst", "translation_table_bytes")
+	tab := isa.BuildTranslationTable()
+	for _, w := range e.Workloads() {
+		r, err := e.Run(w, "Conduit")
+		if err != nil {
+			return nil, err
+		}
+		n := len(r.Decisions)
+		if n == 0 {
+			continue
+		}
+		t.AddRowf(w, float64(r.OverheadTime)/float64(n)/1e3, tab.SizeBytes())
+	}
+	return t, nil
+}
+
+// --- Ablations -------------------------------------------------------------------
+
+// AblationCostFeatures quantifies each cost-function term by removing it
+// (queueing delay, dependence delay, movement latency) on the two most
+// contention-sensitive workloads.
+func (e *Experiments) AblationCostFeatures() (*Table, error) {
+	t := stats.NewTable("Ablation: cost-function features (speedup over CPU)",
+		"workload", "Conduit", "no_queue", "no_dep", "no_move")
+	for _, w := range []string{"heat-3d", "LlaMA2 Inference"} {
+		row := []interface{}{w}
+		for _, p := range []string{"Conduit", "Conduit-noqueue", "Conduit-nodep", "Conduit-nomove"} {
+			s, err := e.Speedup(w, p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, s)
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+// AblationVectorWidth sweeps the vector width — equivalently the page
+// size the compiler aligns vectors to (the paper's
+// -force-vector-width=4096 maps one 16 KiB page; §4.3.1) — under Conduit
+// on heat-3d. Wider vectors amortize the per-instruction offloading
+// overhead; narrower ones expose more scheduling freedom.
+func (e *Experiments) AblationVectorWidth() (*Table, error) {
+	t := stats.NewTable("Ablation: vector width / page size (Conduit on heat-3d)",
+		"page_KiB", "lanes_int8", "instructions", "elapsed_ms")
+	for _, kib := range []int{4, 8, 16, 32} {
+		cfg := e.sys.cfg
+		cfg.SSD.PageSize = kib << 10
+		sys := NewSystem(cfg)
+		var src *Source
+		for _, w := range workloads.All(e.scale) {
+			if w.Name == "heat-3d" {
+				src = w.Source
+			}
+		}
+		c, err := Compile(src, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sys.RunCompiled(c, "Conduit")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(kib, kib<<10, len(c.Prog.Insts), float64(r.Elapsed)/1e6)
+	}
+	return t, nil
+}
+
+// AblationChannels sweeps the flash channel count under Conduit on
+// heat-3d, showing sensitivity to internal parallelism.
+func (e *Experiments) AblationChannels() (*Table, error) {
+	t := stats.NewTable("Ablation: flash channels (Conduit on heat-3d)",
+		"channels", "elapsed_ms")
+	for _, ch := range []int{2, 4, 8, 16} {
+		cfg := e.sys.cfg
+		cfg.SSD.Channels = ch
+		sys := NewSystem(cfg)
+		var src *Source
+		for _, w := range workloads.All(e.scale) {
+			if w.Name == "heat-3d" {
+				src = w.Source
+			}
+		}
+		r, err := sys.Run(src, "Conduit")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(ch, float64(r.Elapsed)/1e6)
+	}
+	return t, nil
+}

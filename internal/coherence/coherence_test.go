@@ -1,0 +1,154 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialStateFlashClean(t *testing.T) {
+	d := NewDirectory(4)
+	for p := 0; p < 4; p++ {
+		e := d.Entry(p)
+		if e.Owner != LocFlash || e.State != Clean || e.Version != 0 {
+			t.Fatalf("page %d initial entry = %+v", p, e)
+		}
+	}
+	if d.Pages() != 4 {
+		t.Fatal("wrong page count")
+	}
+}
+
+func TestModifyTransfersOwnershipAndBumpsVersion(t *testing.T) {
+	d := NewDirectory(2)
+	d.Modify(0, LocDRAM)
+	e := d.Entry(0)
+	if e.Owner != LocDRAM || e.State != Dirty || e.Version != 1 {
+		t.Fatalf("after modify: %+v", e)
+	}
+	// Same-owner modification only bumps the version (§4.4).
+	d.Modify(0, LocDRAM)
+	if got := d.Entry(0); got.Version != 2 || got.Owner != LocDRAM {
+		t.Fatalf("after second modify: %+v", got)
+	}
+	// A different resource taking over changes the owner.
+	d.Modify(0, LocBuffer)
+	if got := d.Entry(0); got.Owner != LocBuffer || got.Version != 3 {
+		t.Fatalf("after buffer modify: %+v", got)
+	}
+	if d.Modifications() != 3 {
+		t.Fatalf("modifications = %d", d.Modifications())
+	}
+}
+
+func TestSyncCommitsToFlashAndResets(t *testing.T) {
+	d := NewDirectory(1)
+	d.Modify(0, LocDRAM)
+	if !d.Sync(0, SyncCrossResource) {
+		t.Fatal("syncing a dirty page should report a required write-back")
+	}
+	e := d.Entry(0)
+	if e.Owner != LocFlash || e.State != Clean || e.Version != 0 {
+		t.Fatalf("after sync: %+v", e)
+	}
+	// Syncing an already-clean page needs no write-back.
+	if d.Sync(0, SyncHostTransfer) {
+		t.Fatal("clean page should not need a write-back")
+	}
+	if d.SyncCount(SyncCrossResource) != 1 || d.SyncCount(SyncHostTransfer) != 1 {
+		t.Fatal("sync trigger counters wrong")
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	d := NewDirectory(1)
+	d.Modify(0, LocDRAM) // version 1 in DRAM
+	if d.IsStale(0, LocDRAM, 1) {
+		t.Fatal("current copy reported stale")
+	}
+	if !d.IsStale(0, LocFlash, 0) {
+		t.Fatal("old flash copy should be stale")
+	}
+	if !d.IsStale(0, LocDRAM, 0) {
+		t.Fatal("old DRAM version should be stale")
+	}
+}
+
+func TestVersionWrapIsPreventedByFlush(t *testing.T) {
+	d := NewDirectory(1)
+	for i := 0; i < 255; i++ {
+		if d.NeedsFlush(0) {
+			t.Fatalf("premature NeedsFlush at version %d", i)
+		}
+		d.Modify(0, LocDRAM)
+	}
+	if !d.NeedsFlush(0) {
+		t.Fatal("NeedsFlush must trigger at the wrap limit")
+	}
+	// Flushing resets the counter and modification proceeds.
+	d.Sync(0, SyncEviction)
+	d.Modify(0, LocDRAM)
+	if d.Entry(0).Version != 1 {
+		t.Fatal("version should restart after flush")
+	}
+}
+
+func TestVersionWrapPanics(t *testing.T) {
+	d := NewDirectory(1)
+	for i := 0; i < 255; i++ {
+		d.Modify(0, LocDRAM)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("modifying past the wrap limit must panic")
+		}
+	}()
+	d.Modify(0, LocDRAM)
+}
+
+// Property: after any interleaving of modifications and syncs, the
+// invariants hold: version 0 iff never modified since last sync; dirty iff
+// version > 0; owner is flash whenever clean.
+func TestProtocolInvariantsProperty(t *testing.T) {
+	f := func(script []uint8) bool {
+		d := NewDirectory(3)
+		for _, b := range script {
+			p := int(b) % 3
+			switch (b >> 4) % 3 {
+			case 0:
+				if !d.NeedsFlush(p) {
+					d.Modify(p, LocDRAM)
+				}
+			case 1:
+				if !d.NeedsFlush(p) {
+					d.Modify(p, LocBuffer)
+				}
+			case 2:
+				d.Sync(p, SyncReason(int(b)%int(numSyncReasons)))
+			}
+			e := d.Entry(p)
+			dirty := e.State == Dirty
+			if dirty != (e.Version > 0) {
+				return false
+			}
+			if !dirty && e.Owner != LocFlash {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LocFlash.String() != "flash" || LocDRAM.String() != "dram" || LocBuffer.String() != "buffer" {
+		t.Fatal("location names wrong")
+	}
+	if Clean.String() != "clean" || Dirty.String() != "dirty" {
+		t.Fatal("state names wrong")
+	}
+	if SyncGC.String() != "gc" || SyncPowerCycle.String() != "power-cycle" {
+		t.Fatal("reason names wrong")
+	}
+}

@@ -1,0 +1,460 @@
+package compiler
+
+import (
+	"fmt"
+
+	"conduit/internal/isa"
+)
+
+// irOp maps a source operation to its vector IR operation.
+func irOp(op OpCode) isa.Op {
+	switch op {
+	case OpAdd:
+		return isa.OpAdd
+	case OpSub:
+		return isa.OpSub
+	case OpMul:
+		return isa.OpMul
+	case OpDiv:
+		return isa.OpDiv
+	case OpAnd:
+		return isa.OpAnd
+	case OpOr:
+		return isa.OpOr
+	case OpXor:
+		return isa.OpXor
+	case OpNot:
+		return isa.OpNot
+	case OpShl:
+		return isa.OpShl
+	case OpShr:
+		return isa.OpShr
+	case OpLT:
+		return isa.OpLT
+	case OpGT:
+		return isa.OpGT
+	case OpEQ:
+		return isa.OpEQ
+	case OpMin:
+		return isa.OpMin
+	case OpMax:
+		return isa.OpMax
+	case OpSelect3:
+		return isa.OpSelect
+	default:
+		panic(fmt.Sprintf("compiler: unmapped opcode %d", op))
+	}
+}
+
+// commutative reports whether lane order of operands is irrelevant.
+func commutative(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpNand, isa.OpNor, isa.OpEQ, isa.OpMin, isa.OpMax:
+		return true
+	}
+	return false
+}
+
+// tempsPerChunk is the number of temporary pages the compiler cycles
+// through for expression intermediates within one vector chunk. Chunks get
+// disjoint pools (up to maxTempChunks before pools wrap) so temporaries
+// never couple the operand groups of independent chunks — which would
+// defeat the loader's NDP-aware placement.
+const tempsPerChunk = 24
+
+// maxTempChunks bounds the number of disjoint per-chunk temp pools.
+const maxTempChunks = 64
+
+// LoopReport records the vectorization outcome of one loop (the
+// -Rpass=loop-vectorize remarks of the paper's toolchain).
+type LoopReport struct {
+	Name       string
+	Vectorized bool
+	Reason     string // why vectorization was rejected, when it was
+	Work       int64  // lane-operations in the loop
+}
+
+// Report summarizes compilation for Table 3. Work is measured statically
+// (operation nodes in the source), matching Table 3's "vectorizable code
+// %", which characterizes the code, not its dynamic instruction count.
+type Report struct {
+	Loops      []LoopReport
+	TotalWork  int64 // static operation count plus scalar-region equivalents
+	VectorWork int64 // static operations inside vectorized loops
+}
+
+// VectorizablePercent is Table 3's "vectorizable code %".
+func (r *Report) VectorizablePercent() float64 {
+	if r.TotalWork == 0 {
+		return 0
+	}
+	return 100 * float64(r.VectorWork) / float64(r.TotalWork)
+}
+
+// Compiled is the output of compile-time preprocessing: the vectorized
+// instruction stream with metadata, the initial data image, and the
+// array-to-page symbol table.
+type Compiled struct {
+	Prog   *isa.Program
+	Inputs map[isa.PageID][]byte
+	Report Report
+
+	pageSize int
+	elem     int
+	arrays   map[string][]isa.PageID
+	arrayLen map[string]int
+}
+
+// ArrayPages returns the logical pages backing an array.
+func (c *Compiled) ArrayPages(name string) []isa.PageID {
+	return append([]isa.PageID(nil), c.arrays[name]...)
+}
+
+// ArrayNames lists the declared arrays in page-layout order.
+func (c *Compiled) ArrayNames() []string {
+	names := make([]string, 0, len(c.arrays))
+	for n := range c.arrays {
+		names = append(names, n)
+	}
+	// Order by first page for determinism.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && c.arrays[names[j]][0] < c.arrays[names[j-1]][0]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Lanes reports the vector width for this compilation (PageSize/Elem).
+func (c *Compiled) Lanes() int { return c.pageSize / c.elem }
+
+// Compile vectorizes src for a device with the given page size.
+func Compile(src *Source, pageSize int) (*Compiled, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	elem := src.Elem()
+	if pageSize <= 0 || pageSize%elem != 0 {
+		return nil, fmt.Errorf("compiler: page size %d incompatible with element size %d", pageSize, elem)
+	}
+	c := &compilation{
+		Compiled: Compiled{
+			Inputs:   make(map[isa.PageID][]byte),
+			pageSize: pageSize,
+			elem:     elem,
+			arrays:   make(map[string][]isa.PageID),
+			arrayLen: make(map[string]int),
+		},
+		lanes: pageSize / elem,
+	}
+
+	// Lay out arrays: sequential pages, padded to whole vector blocks.
+	var next isa.PageID
+	var inputPages []isa.PageID
+	for _, a := range src.Arrays {
+		pages := (a.Len + c.lanes - 1) / c.lanes
+		ids := make([]isa.PageID, pages)
+		for i := range ids {
+			ids[i] = next
+			next++
+		}
+		c.arrays[a.Name] = ids
+		c.arrayLen[a.Name] = a.Len
+		if a.Input {
+			for i, id := range ids {
+				page := make([]byte, pageSize)
+				if a.Data != nil {
+					start := i * pageSize
+					if start < len(a.Data) {
+						copy(page, a.Data[start:])
+					}
+				}
+				c.Inputs[id] = page
+				inputPages = append(inputPages, id)
+			}
+		}
+	}
+	// Per-chunk temporary pools.
+	c.tempBase = next
+	next += isa.PageID(tempsPerChunk * maxTempChunks)
+	c.totalPages = int(next)
+
+	for _, st := range src.Stmts {
+		switch s := st.(type) {
+		case Loop:
+			if err := c.compileLoop(src, s); err != nil {
+				return nil, err
+			}
+		case ScalarWork:
+			c.emitScalar(s.Cycles)
+			if s.CodeUnits > 0 {
+				c.Report.TotalWork += s.CodeUnits
+			} else {
+				c.Report.TotalWork += staticScalarUnits(s.Cycles)
+			}
+		default:
+			return nil, fmt.Errorf("compiler: unknown statement %T", st)
+		}
+	}
+
+	var outputPages []isa.PageID
+	for _, a := range src.Arrays {
+		outputPages = append(outputPages, c.arrays[a.Name]...)
+	}
+	prog := &isa.Program{
+		Name:        src.Name,
+		Insts:       c.insts,
+		Pages:       c.totalPages,
+		InputPages:  inputPages,
+		OutputPages: outputPages,
+	}
+	prog.InferDeps()
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: emitted invalid program: %w", err)
+	}
+	c.Prog = prog
+	out := c.Compiled
+	return &out, nil
+}
+
+// compilation carries emission state.
+type compilation struct {
+	Compiled
+	lanes      int
+	insts      []isa.Inst
+	tempBase   isa.PageID
+	tempNext   map[int]int
+	totalPages int
+	loopID     int
+}
+
+// staticScalarUnits converts an opaque control region's cycle cost into
+// static code units comparable to loop-body operation counts.
+func staticScalarUnits(cycles int64) int64 {
+	u := cycles >> 16
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+func (c *compilation) temp(b int) isa.PageID {
+	chunk := b % maxTempChunks
+	if c.tempNext == nil {
+		c.tempNext = make(map[int]int)
+	}
+	idx := c.tempNext[chunk] % tempsPerChunk
+	c.tempNext[chunk]++
+	return c.tempBase + isa.PageID(chunk*tempsPerChunk+idx)
+}
+
+// operand is an expression result: either a page or an immediate.
+type operand struct {
+	page isa.PageID
+	imm  uint64
+	lit  bool
+}
+
+func (c *compilation) compileLoop(src *Source, l Loop) error {
+	c.loopID++
+	// Bounds check: every referenced array must cover the loop's lanes.
+	blocks := (l.N + c.lanes - 1) / c.lanes
+	checkLen := func(name string) error {
+		if c.arrayLen[name] < l.N {
+			return fmt.Errorf("compiler: loop %q iterates %d lanes but array %q has %d",
+				l.Name, l.N, name, c.arrayLen[name])
+		}
+		return nil
+	}
+	var work int64
+	for _, a := range l.Body {
+		if err := checkLen(a.Target); err != nil {
+			return err
+		}
+		var refs []Ref
+		refsIn(a.Value, &refs)
+		for _, r := range refs {
+			if err := checkLen(r.Name); err != nil {
+				return err
+			}
+		}
+		work += int64(opsIn(a.Value) + 1)
+	}
+
+	vectorized := true
+	reason := ""
+	switch {
+	case l.ForceScalar:
+		vectorized, reason = false, "marked non-vectorizable (control flow/aliasing)"
+	case loopCarried(l):
+		vectorized, reason = false, "loop-carried dependence"
+	case l.N < c.lanes:
+		vectorized, reason = false, fmt.Sprintf("iteration count %d below vector width %d", l.N, c.lanes)
+	}
+	c.Report.Loops = append(c.Report.Loops, LoopReport{
+		Name: l.Name, Vectorized: vectorized, Reason: reason, Work: work,
+	})
+	c.Report.TotalWork += work
+	if vectorized {
+		c.Report.VectorWork += work
+	}
+
+	for b := 0; b < blocks; b++ {
+		for _, a := range l.Body {
+			val, err := c.emitExpr(a.Value, b, vectorized, nil)
+			if err != nil {
+				return err
+			}
+			target := c.arrays[a.Target][b]
+			switch {
+			case a.Reduce:
+				page := c.materialize(val, b, vectorized)
+				c.emit(isa.OpReduceAdd, target, []isa.PageID{page}, 0, false, vectorized)
+			case val.lit:
+				c.emit(isa.OpBroadcast, target, nil, val.imm, true, vectorized)
+			case val.page != target:
+				// Try to fold the copy by re-emitting the root with the
+				// target as destination; for plain refs a copy is needed.
+				c.emit(isa.OpCopy, target, []isa.PageID{val.page}, 0, false, vectorized)
+			}
+		}
+	}
+	return nil
+}
+
+// emitExpr lowers e for block b, returning its result operand. When dst is
+// non-nil, the root operation writes *dst instead of a temporary.
+func (c *compilation) emitExpr(e Expr, b int, vectorized bool, dst *isa.PageID) (operand, error) {
+	switch v := e.(type) {
+	case Lit:
+		return operand{imm: v.Value, lit: true}, nil
+	case Ref:
+		page := c.arrays[v.Name][b]
+		if v.Offset == 0 {
+			return operand{page: page}, nil
+		}
+		rot := ((v.Offset % c.lanes) + c.lanes) % c.lanes
+		out := c.destOr(dst, b)
+		c.emit(isa.OpShuffle, out, []isa.PageID{page}, uint64(rot), true, vectorized)
+		return operand{page: out}, nil
+	case Un:
+		x, err := c.emitExpr(v.X, b, vectorized, nil)
+		if err != nil {
+			return operand{}, err
+		}
+		xp := c.materialize(x, b, vectorized)
+		out := c.destOr(dst, b)
+		c.emit(irOp(v.Op), out, []isa.PageID{xp}, 0, false, vectorized)
+		return operand{page: out}, nil
+	case Bin:
+		op := irOp(v.Op)
+		x, err := c.emitExpr(v.X, b, vectorized, nil)
+		if err != nil {
+			return operand{}, err
+		}
+		y, err := c.emitExpr(v.Y, b, vectorized, nil)
+		if err != nil {
+			return operand{}, err
+		}
+		if x.lit && y.lit {
+			// Constant subexpression: materialize X and fold Y.
+			x = operand{page: c.materialize(x, b, vectorized)}
+		}
+		if x.lit && commutative(op) {
+			x, y = y, x
+		}
+		out := c.destOr(dst, b)
+		switch {
+		case op == isa.OpShl || op == isa.OpShr:
+			if !y.lit {
+				return operand{}, fmt.Errorf("compiler: shift amount must be a literal")
+			}
+			xp := c.materialize(x, b, vectorized)
+			c.emit(op, out, []isa.PageID{xp}, y.imm, true, vectorized)
+		case y.lit && op.ImmReplacesSrc():
+			xp := c.materialize(x, b, vectorized)
+			c.emit(op, out, []isa.PageID{xp}, y.imm, true, vectorized)
+		default:
+			xp := c.materialize(x, b, vectorized)
+			yp := c.materialize(y, b, vectorized)
+			c.emit(op, out, []isa.PageID{xp, yp}, 0, false, vectorized)
+		}
+		return operand{page: out}, nil
+	case Cond:
+		m, err := c.emitExpr(v.Mask, b, vectorized, nil)
+		if err != nil {
+			return operand{}, err
+		}
+		a, err := c.emitExpr(v.A, b, vectorized, nil)
+		if err != nil {
+			return operand{}, err
+		}
+		bb, err := c.emitExpr(v.B, b, vectorized, nil)
+		if err != nil {
+			return operand{}, err
+		}
+		mp := c.materialize(m, b, vectorized)
+		ap := c.materialize(a, b, vectorized)
+		out := c.destOr(dst, b)
+		if bb.lit {
+			c.emit(isa.OpSelect, out, []isa.PageID{mp, ap}, bb.imm, true, vectorized)
+		} else {
+			bp := c.materialize(bb, b, vectorized)
+			c.emit(isa.OpSelect, out, []isa.PageID{mp, ap, bp}, 0, false, vectorized)
+		}
+		return operand{page: out}, nil
+	default:
+		return operand{}, fmt.Errorf("compiler: unknown expression %T", e)
+	}
+}
+
+func (c *compilation) destOr(dst *isa.PageID, b int) isa.PageID {
+	if dst != nil {
+		return *dst
+	}
+	return c.temp(b)
+}
+
+// materialize turns an operand into a page, broadcasting literals.
+func (c *compilation) materialize(o operand, b int, vectorized bool) isa.PageID {
+	if !o.lit {
+		return o.page
+	}
+	t := c.temp(b)
+	c.emit(isa.OpBroadcast, t, nil, o.imm, true, vectorized)
+	return t
+}
+
+// emit appends one vector instruction with compiler metadata (§4.3.1:
+// instruction type, operand pointers, element sizes, vector length).
+func (c *compilation) emit(op isa.Op, dst isa.PageID, srcs []isa.PageID, imm uint64, useImm bool, vectorized bool) {
+	in := isa.Inst{
+		ID:     len(c.insts),
+		Op:     op,
+		Dst:    dst,
+		Srcs:   srcs,
+		Imm:    imm,
+		UseImm: useImm,
+		Elem:   c.elem,
+		Lanes:  c.lanes,
+		Meta: isa.Meta{
+			Class:        op.Class(),
+			Unvectorized: !vectorized,
+			LoopID:       c.loopID,
+			OperandBytes: (len(srcs) + 1) * c.pageSize,
+		},
+	}
+	c.insts = append(c.insts, in)
+}
+
+// emitScalar appends an opaque control region.
+func (c *compilation) emitScalar(cycles int64) {
+	c.insts = append(c.insts, isa.Inst{
+		ID:           len(c.insts),
+		Op:           isa.OpScalar,
+		Dst:          isa.NoPage,
+		ScalarCycles: cycles,
+		Meta:         isa.Meta{Class: isa.ClassControl, LoopID: c.loopID},
+	})
+}

@@ -1,0 +1,162 @@
+package compiler
+
+import (
+	"fmt"
+
+	"conduit/internal/vecmath"
+)
+
+// Interpret executes src scalar-wise, lane by lane — the reference
+// semantics the vectorized program must reproduce bit-for-bit.
+//
+// Loops execute over whole vector blocks (iteration counts round up to the
+// vector width, matching the padded page layout), and neighbor references
+// A[i+k] wrap within their vector block, exactly as the emitted shuffle
+// instructions behave. The returned map holds each array's final contents
+// (padded to whole blocks).
+func Interpret(src *Source, pageSize int) (map[string][]byte, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	elem := src.Elem()
+	if pageSize <= 0 || pageSize%elem != 0 {
+		return nil, fmt.Errorf("compiler: page size %d incompatible with element size %d", pageSize, elem)
+	}
+	lanes := pageSize / elem
+	mem := make(map[string][]byte, len(src.Arrays))
+	for _, a := range src.Arrays {
+		blocks := (a.Len + lanes - 1) / lanes
+		buf := make([]byte, blocks*pageSize)
+		if a.Input && a.Data != nil {
+			copy(buf, a.Data)
+		}
+		mem[a.Name] = buf
+	}
+
+	mask := vecmath.Mask(elem)
+	for _, st := range src.Stmts {
+		l, ok := st.(Loop)
+		if !ok {
+			continue // pure control work has no data effect
+		}
+		blocks := (l.N + lanes - 1) / lanes
+		for b := 0; b < blocks; b++ {
+			base := b * lanes
+			for _, a := range l.Body {
+				out := make([]uint64, lanes)
+				for i := 0; i < lanes; i++ {
+					v, err := evalLane(src, mem, a.Value, base, i, lanes, elem)
+					if err != nil {
+						return nil, err
+					}
+					out[i] = v
+				}
+				tgt := mem[a.Target]
+				if a.Reduce {
+					var sum uint64
+					for _, v := range out {
+						sum += v
+					}
+					sum &= mask
+					for i := 0; i < lanes; i++ {
+						vecmath.Store(tgt, base+i, elem, sum)
+					}
+					continue
+				}
+				for i := 0; i < lanes; i++ {
+					vecmath.Store(tgt, base+i, elem, out[i])
+				}
+			}
+		}
+	}
+	return mem, nil
+}
+
+// evalLane evaluates e for lane base+i with block-circular indexing.
+func evalLane(src *Source, mem map[string][]byte, e Expr, base, i, lanes, elem int) (uint64, error) {
+	mask := vecmath.Mask(elem)
+	switch v := e.(type) {
+	case Lit:
+		return v.Value & mask, nil
+	case Ref:
+		j := ((i+v.Offset)%lanes + lanes) % lanes
+		return vecmath.Load(mem[v.Name], base+j, elem), nil
+	case Un:
+		x, err := evalLane(src, mem, v.X, base, i, lanes, elem)
+		if err != nil {
+			return 0, err
+		}
+		if v.Op != OpNot {
+			return 0, fmt.Errorf("compiler: unary %d unsupported", v.Op)
+		}
+		return ^x & mask, nil
+	case Bin:
+		x, err := evalLane(src, mem, v.X, base, i, lanes, elem)
+		if err != nil {
+			return 0, err
+		}
+		y, err := evalLane(src, mem, v.Y, base, i, lanes, elem)
+		if err != nil {
+			return 0, err
+		}
+		return applyLane(v.Op, x, y, elem), nil
+	case Cond:
+		m, err := evalLane(src, mem, v.Mask, base, i, lanes, elem)
+		if err != nil {
+			return 0, err
+		}
+		if m != 0 {
+			return evalLane(src, mem, v.A, base, i, lanes, elem)
+		}
+		return evalLane(src, mem, v.B, base, i, lanes, elem)
+	default:
+		return 0, fmt.Errorf("compiler: unknown expression %T", e)
+	}
+}
+
+// applyLane is the scalar semantics of each binary source operation.
+func applyLane(op OpCode, x, y uint64, elem int) uint64 {
+	mask := vecmath.Mask(elem)
+	sx, sy := vecmath.ToSigned(x, elem), vecmath.ToSigned(y, elem)
+	switch op {
+	case OpAdd:
+		return (x + y) & mask
+	case OpSub:
+		return (x - y) & mask
+	case OpMul:
+		return (x * y) & mask
+	case OpDiv:
+		if y == 0 {
+			return mask
+		}
+		return (x / y) & mask
+	case OpAnd:
+		return x & y
+	case OpOr:
+		return x | y
+	case OpXor:
+		return x ^ y
+	case OpShl:
+		return (x << y) & mask
+	case OpShr:
+		return x >> y
+	case OpLT:
+		return vecmath.Bool(sx < sy, elem)
+	case OpGT:
+		return vecmath.Bool(sx > sy, elem)
+	case OpEQ:
+		return vecmath.Bool(x == y, elem)
+	case OpMin:
+		if sx < sy {
+			return x
+		}
+		return y
+	case OpMax:
+		if sx > sy {
+			return x
+		}
+		return y
+	default:
+		panic(fmt.Sprintf("compiler: unmapped lane op %d", op))
+	}
+}

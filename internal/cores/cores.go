@@ -1,0 +1,336 @@
+// Package cores models the SSD controller's embedded processors: five ARM
+// Cortex-R8 class cores at 1.5 GHz (Table 2). One core executes offloaded
+// computation through the M-Profile Vector Extension (MVE) with a 32-byte
+// datapath — the in-storage processing (ISP) resource; the paper reserves
+// the remaining cores for FTL functions, host communication, and Conduit's
+// offloading and instruction transformation (§4.3.2 footnote 3).
+//
+// ISP's defining limitation — narrow SIMD — falls directly out of the
+// datapath width: a 16 KiB page takes 512 MVE beats, so page-sized vector
+// work is orders of magnitude less parallel than PuD or IFP.
+package cores
+
+import (
+	"fmt"
+
+	"conduit/internal/config"
+	"conduit/internal/energy"
+	"conduit/internal/isa"
+	"conduit/internal/sim"
+	"conduit/internal/vecmath"
+)
+
+// cyclesPerBeat is the per-32-byte-beat cycle cost of each IR operation on
+// the MVE pipeline, calibrated to embedded ARM instruction timings:
+// single-cycle logic/add, dual-issue-blocking multiply, long-latency
+// divide.
+func cyclesPerBeat(op isa.Op) int64 {
+	switch op {
+	case isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpNot, isa.OpNand, isa.OpNor,
+		isa.OpShl, isa.OpShr, isa.OpCopy, isa.OpBroadcast:
+		return 1
+	case isa.OpAdd, isa.OpSub, isa.OpLT, isa.OpGT, isa.OpEQ,
+		isa.OpMin, isa.OpMax:
+		return 1
+	case isa.OpSelect:
+		return 2
+	case isa.OpMul:
+		return 2
+	case isa.OpDiv:
+		return 12
+	case isa.OpReduceAdd:
+		return 1 // pairwise-accumulating VADDV
+	case isa.OpShuffle:
+		return 2 // VLDR with gather pattern
+	default:
+		panic(fmt.Sprintf("cores: no beat cost for %v", op))
+	}
+}
+
+// loopOverheadCycles is the per-vector-instruction loop and address
+// bookkeeping on the scalar pipeline.
+const loopOverheadCycles = 16
+
+// Cycles reports the core cycles a full vector instruction takes:
+// ceil(bytes/MVE width) beats times the per-beat cost, plus loop overhead.
+func Cycles(cfg *config.SSD, op isa.Op, lanes, elem int) int64 {
+	if op == isa.OpScalar {
+		panic("cores: Cycles of scalar region; use the instruction's ScalarCycles")
+	}
+	bytes := int64(lanes * elem)
+	beats := (bytes + int64(cfg.MVEWidthBytes) - 1) / int64(cfg.MVEWidthBytes)
+	return beats*cyclesPerBeat(op) + loopOverheadCycles
+}
+
+// ExecLatency is the contention-free latency of one vector instruction on
+// the compute core — the ISP entry of the offloader's precomputed
+// computation-latency table (§4.5).
+func ExecLatency(cfg *config.SSD, op isa.Op, lanes, elem int) sim.Time {
+	return cfg.CoreCycles(Cycles(cfg, op, lanes, elem))
+}
+
+// UnvectorizedCycles is the lane-serial cycle cost of running a vector
+// operation the compiler could not vectorize (§7): one scalar
+// load/op/store sequence per lane on the in-order pipeline.
+func UnvectorizedCycles(lanes int) int64 {
+	return int64(lanes)*isa.ScalarCyclesPerLane + loopOverheadCycles
+}
+
+// Core is the functional + timed ISP compute core.
+type Core struct {
+	cfg *config.SSD
+	en  *energy.Account
+	cal *sim.Calendar
+
+	vecOps, scalarOps, cycles int64
+}
+
+// New returns the compute core for cfg, charging energy to en.
+func New(cfg *config.SSD, en *energy.Account) *Core {
+	return &Core{cfg: cfg, en: en, cal: sim.NewCalendar("isp-core")}
+}
+
+// Calendar exposes the core's timing calendar (for queue-delay observation
+// by offloading policies).
+func (c *Core) Calendar() *sim.Calendar { return c.cal }
+
+// Exec executes op over the operand buffers and returns the result bytes
+// and completion time. Operands must already be resident in SSD DRAM; the
+// caller models that movement. srcs must match the operation's vector
+// arity (after immediate substitution); all buffers share the same length.
+//
+// Functional semantics notes: OpShuffle rotates lanes left by Imm;
+// OpReduceAdd broadcasts the modular lane sum to every output lane.
+func (c *Core) Exec(now, ready sim.Time, op isa.Op, srcs [][]byte, elem int, useImm bool, imm uint64) ([]byte, sim.Time, error) {
+	if op == isa.OpScalar {
+		return nil, 0, fmt.Errorf("cores: scalar regions go through ExecScalar")
+	}
+	arity := op.Arity()
+	if useImm && op.ImmReplacesSrc() {
+		arity--
+	}
+	if len(srcs) != arity {
+		return nil, 0, fmt.Errorf("cores: %v needs %d vector sources, got %d", op, arity, len(srcs))
+	}
+	var size int
+	if len(srcs) > 0 {
+		size = len(srcs[0])
+		for _, s := range srcs[1:] {
+			if len(s) != size {
+				return nil, 0, fmt.Errorf("cores: operand size mismatch")
+			}
+		}
+	} else {
+		size = c.cfg.PageSize
+	}
+	lanes := size / elem
+
+	cyc := Cycles(c.cfg, op, lanes, elem)
+	_, done := c.cal.Reserve(now, ready, c.cfg.CoreCycles(cyc))
+	c.vecOps++
+	c.cycles += cyc
+	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
+
+	out := make([]byte, size)
+	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
+		return nil, 0, err
+	}
+	return out, done, nil
+}
+
+// ExecStreaming executes op like Exec but additionally occupies the core
+// for stream time: the in-order Cortex-R8 stalls while loading operands
+// from and storing results to the SSD DRAM, so its execution queue must
+// reflect that occupancy.
+func (c *Core) ExecStreaming(now, ready sim.Time, op isa.Op, srcs [][]byte, elem int, useImm bool, imm uint64, stream sim.Time) ([]byte, sim.Time, error) {
+	if op == isa.OpScalar {
+		return nil, 0, fmt.Errorf("cores: scalar regions go through ExecScalar")
+	}
+	arity := op.Arity()
+	if useImm && op.ImmReplacesSrc() {
+		arity--
+	}
+	if len(srcs) != arity {
+		return nil, 0, fmt.Errorf("cores: %v needs %d vector sources, got %d", op, arity, len(srcs))
+	}
+	var size int
+	if len(srcs) > 0 {
+		size = len(srcs[0])
+		for _, s := range srcs[1:] {
+			if len(s) != size {
+				return nil, 0, fmt.Errorf("cores: operand size mismatch")
+			}
+		}
+	} else {
+		size = c.cfg.PageSize
+	}
+	lanes := size / elem
+
+	cyc := Cycles(c.cfg, op, lanes, elem)
+	_, done := c.cal.Reserve(now, ready, c.cfg.CoreCycles(cyc)+stream)
+	c.vecOps++
+	c.cycles += cyc
+	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
+
+	out := make([]byte, size)
+	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
+		return nil, 0, err
+	}
+	return out, done, nil
+}
+
+// ExecUnvectorized executes op lane-serially on the scalar pipeline —
+// the fate of loops the vectorizer rejected. Semantics are identical to
+// Exec; only the cycle cost differs.
+func (c *Core) ExecUnvectorized(now, ready sim.Time, op isa.Op, srcs [][]byte, elem int, useImm bool, imm uint64) ([]byte, sim.Time, error) {
+	if op == isa.OpScalar {
+		return nil, 0, fmt.Errorf("cores: scalar regions go through ExecScalar")
+	}
+	var size int
+	if len(srcs) > 0 {
+		size = len(srcs[0])
+	} else {
+		size = c.cfg.PageSize
+	}
+	cyc := UnvectorizedCycles(size / elem)
+	_, done := c.cal.Reserve(now, ready, c.cfg.CoreCycles(cyc))
+	c.scalarOps++
+	c.cycles += cyc
+	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
+
+	out := make([]byte, size)
+	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
+		return nil, 0, err
+	}
+	return out, done, nil
+}
+
+// ExecScalar runs a non-vectorized control region of the given cycle cost.
+func (c *Core) ExecScalar(now, ready sim.Time, cyc int64) (sim.Time, error) {
+	if cyc <= 0 {
+		return 0, fmt.Errorf("cores: scalar region needs positive cycles, got %d", cyc)
+	}
+	_, done := c.cal.Reserve(now, ready, c.cfg.CoreCycles(cyc))
+	c.scalarOps++
+	c.cycles += cyc
+	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
+	return done, nil
+}
+
+// Stats reports operation counts for experiment tables.
+func (c *Core) Stats() map[string]int64 {
+	return map[string]int64{
+		"vector_ops": c.vecOps,
+		"scalar_ops": c.scalarOps,
+		"cycles":     c.cycles,
+	}
+}
+
+// apply computes the functional result of op. It is shared with the host
+// models via Apply.
+func apply(op isa.Op, out []byte, srcs [][]byte, elem int, useImm bool, imm uint64) error {
+	vecmath.CheckElem(elem)
+	bin := func(f func(x, y uint64) uint64) error {
+		if useImm {
+			vecmath.BinaryImm(out, srcs[0], elem, imm&vecmath.Mask(elem), f)
+			return nil
+		}
+		vecmath.Binary(out, srcs[0], srcs[1], elem, f)
+		return nil
+	}
+	switch op {
+	case isa.OpAnd:
+		return bin(func(x, y uint64) uint64 { return x & y })
+	case isa.OpOr:
+		return bin(func(x, y uint64) uint64 { return x | y })
+	case isa.OpXor:
+		return bin(func(x, y uint64) uint64 { return x ^ y })
+	case isa.OpNand:
+		return bin(func(x, y uint64) uint64 { return ^(x & y) })
+	case isa.OpNor:
+		return bin(func(x, y uint64) uint64 { return ^(x | y) })
+	case isa.OpNot:
+		vecmath.Unary(out, srcs[0], elem, func(x uint64) uint64 { return ^x })
+	case isa.OpAdd:
+		return bin(func(x, y uint64) uint64 { return x + y })
+	case isa.OpSub:
+		return bin(func(x, y uint64) uint64 { return x - y })
+	case isa.OpMul:
+		return bin(func(x, y uint64) uint64 { return x * y })
+	case isa.OpDiv:
+		return bin(func(x, y uint64) uint64 {
+			if y == 0 {
+				return vecmath.Mask(elem) // saturate on division by zero
+			}
+			return x / y
+		})
+	case isa.OpShl:
+		vecmath.Unary(out, srcs[0], elem, func(x uint64) uint64 { return x << imm })
+	case isa.OpShr:
+		vecmath.Unary(out, srcs[0], elem, func(x uint64) uint64 { return x >> imm })
+	case isa.OpLT:
+		return bin(func(x, y uint64) uint64 {
+			return vecmath.Bool(vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem), elem)
+		})
+	case isa.OpGT:
+		return bin(func(x, y uint64) uint64 {
+			return vecmath.Bool(vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem), elem)
+		})
+	case isa.OpEQ:
+		return bin(func(x, y uint64) uint64 { return vecmath.Bool(x == y, elem) })
+	case isa.OpMin:
+		return bin(func(x, y uint64) uint64 {
+			if vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem) {
+				return x
+			}
+			return y
+		})
+	case isa.OpMax:
+		return bin(func(x, y uint64) uint64 {
+			if vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem) {
+				return x
+			}
+			return y
+		})
+	case isa.OpSelect:
+		mask, a := srcs[0], srcs[1]
+		var b []byte
+		if useImm {
+			b = make([]byte, len(out))
+			vecmath.Broadcast(b, elem, imm)
+		} else {
+			b = srcs[2]
+		}
+		n := len(out) / elem
+		for i := 0; i < n; i++ {
+			if vecmath.Load(mask, i, elem) != 0 {
+				vecmath.Store(out, i, elem, vecmath.Load(a, i, elem))
+			} else {
+				vecmath.Store(out, i, elem, vecmath.Load(b, i, elem))
+			}
+		}
+	case isa.OpCopy:
+		copy(out, srcs[0])
+	case isa.OpBroadcast:
+		vecmath.Broadcast(out, elem, imm)
+	case isa.OpReduceAdd:
+		sum := vecmath.ReduceAdd(srcs[0], elem)
+		vecmath.Broadcast(out, elem, sum)
+	case isa.OpShuffle:
+		n := len(out) / elem
+		rot := int(imm) % n
+		for i := 0; i < n; i++ {
+			vecmath.Store(out, i, elem, vecmath.Load(srcs[0], (i+rot)%n, elem))
+		}
+	default:
+		return fmt.Errorf("cores: unknown op %v", op)
+	}
+	return nil
+}
+
+// Apply computes the functional result of a vector operation without any
+// timing or energy effects. The host models and the compiler's reference
+// interpreter share it so every execution substrate agrees bit-for-bit.
+func Apply(op isa.Op, out []byte, srcs [][]byte, elem int, useImm bool, imm uint64) error {
+	return apply(op, out, srcs, elem, useImm, imm)
+}

@@ -1,0 +1,348 @@
+// Package dram models the SSD-internal DRAM as a processing-using-DRAM
+// (PuD-SSD) substrate: an LPDDR4-1866 module whose banks execute bulk
+// bitwise operations by charge sharing (Ambit-style triple-row activation)
+// and bit-serial arithmetic built on them (SIMDRAM/MIMDRAM/Proteus — the
+// frameworks the paper adopts for PuD-SSD, §4.3.2).
+//
+// Data lives in page-sized slots striped across the banks. The model is
+// functional: slots hold real bytes and every operation computes real
+// results. Bit-transposition of operands (required by bit-serial
+// execution) is folded into the flash->DRAM DMA path, following Proteus.
+package dram
+
+import (
+	"fmt"
+
+	"conduit/internal/config"
+	"conduit/internal/energy"
+	"conduit/internal/sim"
+	"conduit/internal/vecmath"
+)
+
+// Op enumerates the 16 operations the PuD-SSD substrate supports
+// (§4.3.2: "PuD-SSD supports 16 operations, including arithmetic,
+// predication, and relational operations").
+type Op int
+
+// PuD operation kinds.
+const (
+	OpAnd Op = iota
+	OpOr
+	OpNot
+	OpXor
+	OpNand
+	OpNor
+	OpAdd
+	OpSub
+	OpMul
+	OpLT
+	OpGT
+	OpEQ
+	OpMin
+	OpMax
+	OpSelect
+	OpCopy
+	// OpShuffle is a lane rotation implemented as RowClone/LISA-style
+	// shifted inter-subarray copies. It is data movement inside the
+	// arrays, not one of the 16 published compute operations.
+	OpShuffle
+	// OpShl and OpShr shift each lane by an immediate. Under the
+	// bit-serial (vertical) data layout these are row renames plus a
+	// clearing copy, nearly free (Proteus-style flexible precision).
+	OpShl
+	OpShr
+)
+
+// NumOps is the size of the published PuD compute-operation set.
+const NumOps = 16
+
+// String names the operation.
+func (o Op) String() string {
+	names := [...]string{"and", "or", "not", "xor", "nand", "nor", "add", "sub",
+		"mul", "lt", "gt", "eq", "min", "max", "select", "copy", "shuffle", "shl", "shr"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("dram.Op(%d)", int(o))
+}
+
+// Arity reports how many source slots the operation consumes.
+func (o Op) Arity() int {
+	switch o {
+	case OpNot, OpCopy, OpShuffle, OpShl, OpShr:
+		return 1
+	case OpSelect:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Rounds reports how many bbop rounds (row-activation triples) one
+// operation needs on elem-byte lanes. These constants follow the published
+// SIMDRAM/MIMDRAM cost structure: constant for bulk bitwise operations,
+// linear in bit width for addition/comparison, quadratic for
+// multiplication.
+func Rounds(o Op, elem int) int {
+	vecmath.CheckElem(elem)
+	bits := elem * 8
+	switch o {
+	case OpCopy, OpNot: // RowClone / row inversion
+		return 2
+	case OpShuffle: // LISA-style shifted inter-subarray copy
+		return 4
+	case OpShl, OpShr: // bit-serial row rename + clearing copy
+		return 2
+	case OpAnd, OpOr, OpNand, OpNor: // one TRA plus operand/result copies
+		return 4
+	case OpXor: // two TRAs plus copies
+		return 6
+	case OpSelect: // mask AND/ANDN/OR composition
+		return 10
+	case OpAdd, OpSub: // bit-serial full adder chain
+		return 4*bits + 1
+	case OpLT, OpGT, OpEQ: // bit-serial compare
+		return 2*bits + 4
+	case OpMin, OpMax: // compare then select
+		return 3*bits + 8
+	case OpMul: // shift-and-add partial products
+		return 2*bits*bits + 3*bits
+	default:
+		panic(fmt.Sprintf("dram: unknown op %d", o))
+	}
+}
+
+// ExecLatency is the contention-free latency of one PuD operation — the
+// "expected computation latency" entry the offloader precomputes (§4.5).
+func ExecLatency(cfg *config.SSD, o Op, elem int) sim.Time {
+	return sim.Time(Rounds(o, elem)) * cfg.TBbop
+}
+
+// Module is the functional + timed PuD-SSD substrate.
+type Module struct {
+	cfg   *config.SSD
+	en    *energy.Account
+	units *sim.Group    // concurrent subarray compute sets (MIMDRAM)
+	bus   *sim.Calendar // shared LPDDR4 data bus for transfers in/out
+
+	slots    map[int][]byte
+	capacity int
+
+	opImm uint64 // rotation/shift amount of the in-flight operation
+
+	bbops, reads, writes int64
+	bytesMoved           int64
+}
+
+// ComputeUnits is the number of concurrently usable subarray compute sets.
+// MIMDRAM executes independent fine-grained operations in different
+// subarrays (mats); with 8 banks and two active subarray sets per bank the
+// module sustains 16 concurrent bulk operations.
+const ComputeUnits = 16
+
+// NewModule builds the PuD substrate for cfg, charging energy to en.
+func NewModule(cfg *config.SSD, en *energy.Account) *Module {
+	capacity := int(cfg.DRAMSize / int64(cfg.PageSize))
+	return &Module{
+		cfg:      cfg,
+		en:       en,
+		units:    sim.NewGroup("pud-unit", ComputeUnits),
+		bus:      sim.NewCalendar("dram-bus"),
+		slots:    make(map[int][]byte),
+		capacity: capacity,
+	}
+}
+
+// Capacity reports the number of page-sized slots.
+func (m *Module) Capacity() int { return m.capacity }
+
+// Units exposes the compute-unit calendars (for queue-delay observation).
+func (m *Module) Units() *sim.Group { return m.units }
+
+// Bus exposes the data-bus calendar.
+func (m *Module) Bus() *sim.Calendar { return m.bus }
+
+func (m *Module) checkSlot(s int) {
+	if s < 0 || s >= m.capacity {
+		panic(fmt.Sprintf("dram: slot %d out of range [0,%d)", s, m.capacity))
+	}
+}
+
+// Write stores data into slot, occupying the DRAM bus.
+func (m *Module) Write(now, ready sim.Time, slot int, data []byte) sim.Time {
+	m.checkSlot(slot)
+	if len(data) != m.cfg.PageSize {
+		panic(fmt.Sprintf("dram: write size %d != page size %d", len(data), m.cfg.PageSize))
+	}
+	_, done := m.bus.Reserve(now, ready, m.cfg.DRAMTransferTime(len(data)))
+	m.slots[slot] = append([]byte(nil), data...)
+	m.writes++
+	m.bytesMoved += int64(len(data))
+	m.en.Move("dram-bus", float64(len(data))*m.cfg.EDRAMPerByte)
+	return done
+}
+
+// Read returns a copy of slot's contents, occupying the DRAM bus.
+func (m *Module) Read(now, ready sim.Time, slot int) ([]byte, sim.Time) {
+	m.checkSlot(slot)
+	_, done := m.bus.Reserve(now, ready, m.cfg.DRAMTransferTime(m.cfg.PageSize))
+	m.reads++
+	m.bytesMoved += int64(m.cfg.PageSize)
+	m.en.Move("dram-bus", float64(m.cfg.PageSize)*m.cfg.EDRAMPerByte)
+	return m.Data(slot), done
+}
+
+// Data returns a copy of slot contents without timing effects (test and
+// verification hook). Unwritten slots read as zero.
+func (m *Module) Data(slot int) []byte {
+	m.checkSlot(slot)
+	if d, ok := m.slots[slot]; ok {
+		return append([]byte(nil), d...)
+	}
+	return make([]byte, m.cfg.PageSize)
+}
+
+// Populated reports whether the slot has been written.
+func (m *Module) Populated(slot int) bool {
+	_, ok := m.slots[slot]
+	return ok
+}
+
+// Invalidate drops slot contents (eviction).
+func (m *Module) Invalidate(slot int) { delete(m.slots, slot) }
+
+// Exec performs op on the source slots, writing the result slot. srcs must
+// match op.Arity(); for OpSelect the sources are (mask, a, b) and each lane
+// of the result is a where the mask lane is non-zero, else b. If useImm is
+// set, the final source slot is replaced by a broadcast immediate.
+//
+// Computation happens inside the DRAM arrays: only the compute units are
+// occupied, not the data bus.
+func (m *Module) Exec(now, ready sim.Time, op Op, dst int, srcs []int, elem int, useImm bool, imm uint64) (sim.Time, error) {
+	vecmath.CheckElem(elem)
+	m.checkSlot(dst)
+	arity := op.Arity()
+	if len(srcs) != arity {
+		return 0, fmt.Errorf("dram: %v needs %d sources, got %d", op, arity, len(srcs))
+	}
+	m.opImm = 0
+	if op == OpShuffle || op == OpShl || op == OpShr {
+		m.opImm = imm
+		useImm = false
+	}
+	vals := make([][]byte, arity)
+	for i, s := range srcs {
+		if useImm && i == arity-1 {
+			b := make([]byte, m.cfg.PageSize)
+			vecmath.Broadcast(b, elem, imm)
+			vals[i] = b
+			continue
+		}
+		m.checkSlot(s)
+		if !m.Populated(s) {
+			return 0, fmt.Errorf("dram: %v source slot %d not populated", op, s)
+		}
+		vals[i] = m.slots[s]
+	}
+
+	rounds := Rounds(op, elem)
+	_, done := m.units.Reserve(now, ready, sim.Time(rounds)*m.cfg.TBbop)
+	m.bbops += int64(rounds)
+	m.en.Compute("pud", float64(rounds)*m.cfg.EBbop)
+
+	out := make([]byte, m.cfg.PageSize)
+	m.apply(op, out, vals, elem)
+	m.slots[dst] = out
+	return done, nil
+}
+
+func (m *Module) apply(op Op, out []byte, vals [][]byte, elem int) {
+	switch op {
+	case OpCopy:
+		copy(out, vals[0])
+	case OpNot:
+		vecmath.Unary(out, vals[0], elem, func(x uint64) uint64 { return ^x })
+	case OpAnd:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x & y })
+	case OpOr:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x | y })
+	case OpNand:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return ^(x & y) })
+	case OpNor:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return ^(x | y) })
+	case OpXor:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x ^ y })
+	case OpAdd:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x + y })
+	case OpSub:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x - y })
+	case OpMul:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x * y })
+	case OpLT:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
+			return vecmath.Bool(vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem), elem)
+		})
+	case OpGT:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
+			return vecmath.Bool(vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem), elem)
+		})
+	case OpEQ:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
+			return vecmath.Bool(x == y, elem)
+		})
+	case OpMin:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
+			if vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem) {
+				return x
+			}
+			return y
+		})
+	case OpMax:
+		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
+			if vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem) {
+				return x
+			}
+			return y
+		})
+	case OpSelect:
+		n := len(out) / elem
+		for i := 0; i < n; i++ {
+			if vecmath.Load(vals[0], i, elem) != 0 {
+				vecmath.Store(out, i, elem, vecmath.Load(vals[1], i, elem))
+			} else {
+				vecmath.Store(out, i, elem, vecmath.Load(vals[2], i, elem))
+			}
+		}
+	case OpShuffle:
+		n := len(out) / elem
+		rot := int(m.opImm) % n
+		for i := 0; i < n; i++ {
+			vecmath.Store(out, i, elem, vecmath.Load(vals[0], (i+rot)%n, elem))
+		}
+	case OpShl:
+		vecmath.Unary(out, vals[0], elem, func(x uint64) uint64 { return x << m.opImm })
+	case OpShr:
+		vecmath.Unary(out, vals[0], elem, func(x uint64) uint64 { return x >> m.opImm })
+	default:
+		panic(fmt.Sprintf("dram: unknown op %d", op))
+	}
+}
+
+// SetSlotForTest force-writes slot contents without timing (fixture hook).
+func (m *Module) SetSlotForTest(slot int, data []byte) {
+	m.checkSlot(slot)
+	if len(data) != m.cfg.PageSize {
+		panic("dram: SetSlotForTest size mismatch")
+	}
+	m.slots[slot] = append([]byte(nil), data...)
+}
+
+// Stats reports operation counts for experiment tables.
+func (m *Module) Stats() map[string]int64 {
+	return map[string]int64{
+		"bbops":       m.bbops,
+		"reads":       m.reads,
+		"writes":      m.writes,
+		"bytes_moved": m.bytesMoved,
+	}
+}

@@ -1,0 +1,87 @@
+// Package energy accumulates the energy consumption of the simulated
+// system, split into computation energy and data-movement energy — the two
+// components of each bar in Fig. 7(b) of the paper.
+//
+// Every substrate (NAND, DRAM, controller cores, host, interconnects)
+// records into a shared Account; the experiment harness reads totals and
+// the movement/compute breakdown.
+package energy
+
+import "sort"
+
+// Account tallies energy in joules, keyed by source. The zero value is not
+// usable; call NewAccount.
+type Account struct {
+	compute  map[string]float64
+	movement map[string]float64
+}
+
+// NewAccount returns an empty account.
+func NewAccount() *Account {
+	return &Account{
+		compute:  make(map[string]float64),
+		movement: make(map[string]float64),
+	}
+}
+
+// Compute records j joules of computation energy attributed to source
+// (e.g. "ifp", "pud", "isp", "cpu", "gpu").
+func (a *Account) Compute(source string, j float64) {
+	if j < 0 {
+		panic("energy: negative computation energy")
+	}
+	a.compute[source] += j
+}
+
+// Move records j joules of data-movement energy attributed to path
+// (e.g. "flash-channel", "dram-bus", "pcie").
+func (a *Account) Move(path string, j float64) {
+	if j < 0 {
+		panic("energy: negative movement energy")
+	}
+	a.movement[path] += j
+}
+
+// ComputeTotal reports total computation energy in joules.
+func (a *Account) ComputeTotal() float64 { return total(a.compute) }
+
+// MovementTotal reports total data-movement energy in joules.
+func (a *Account) MovementTotal() float64 { return total(a.movement) }
+
+// Total reports all energy in joules.
+func (a *Account) Total() float64 { return a.ComputeTotal() + a.MovementTotal() }
+
+// ComputeBy reports computation energy for one source.
+func (a *Account) ComputeBy(source string) float64 { return a.compute[source] }
+
+// MoveBy reports movement energy for one path.
+func (a *Account) MoveBy(path string) float64 { return a.movement[path] }
+
+// Sources returns all compute sources in sorted order.
+func (a *Account) Sources() []string { return keys(a.compute) }
+
+// Paths returns all movement paths in sorted order.
+func (a *Account) Paths() []string { return keys(a.movement) }
+
+// Reset clears the account.
+func (a *Account) Reset() {
+	a.compute = make(map[string]float64)
+	a.movement = make(map[string]float64)
+}
+
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

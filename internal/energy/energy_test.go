@@ -1,0 +1,62 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccountTotals(t *testing.T) {
+	a := NewAccount()
+	a.Compute("ifp", 1e-6)
+	a.Compute("ifp", 2e-6)
+	a.Compute("isp", 1e-6)
+	a.Move("flash-channel", 5e-6)
+	a.Move("pcie", 1e-6)
+
+	if got := a.ComputeBy("ifp"); math.Abs(got-3e-6) > 1e-18 {
+		t.Errorf("ComputeBy(ifp) = %v, want 3µJ", got)
+	}
+	if got := a.ComputeTotal(); math.Abs(got-4e-6) > 1e-18 {
+		t.Errorf("ComputeTotal = %v, want 4µJ", got)
+	}
+	if got := a.MovementTotal(); math.Abs(got-6e-6) > 1e-18 {
+		t.Errorf("MovementTotal = %v, want 6µJ", got)
+	}
+	if got := a.Total(); math.Abs(got-10e-6) > 1e-18 {
+		t.Errorf("Total = %v, want 10µJ", got)
+	}
+}
+
+func TestAccountKeysSorted(t *testing.T) {
+	a := NewAccount()
+	a.Compute("z", 1)
+	a.Compute("a", 1)
+	a.Move("m", 1)
+	srcs := a.Sources()
+	if len(srcs) != 2 || srcs[0] != "a" || srcs[1] != "z" {
+		t.Fatalf("Sources = %v, want sorted [a z]", srcs)
+	}
+	if paths := a.Paths(); len(paths) != 1 || paths[0] != "m" {
+		t.Fatalf("Paths = %v", paths)
+	}
+}
+
+func TestAccountReset(t *testing.T) {
+	a := NewAccount()
+	a.Compute("x", 1)
+	a.Move("y", 1)
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("Reset did not clear the account")
+	}
+}
+
+func TestNegativeEnergyPanics(t *testing.T) {
+	a := NewAccount()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative energy should panic")
+		}
+	}()
+	a.Compute("x", -1)
+}

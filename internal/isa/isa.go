@@ -1,0 +1,323 @@
+// Package isa defines Conduit's vector intermediate representation: the
+// page-aligned SIMD instructions that the compile-time pass emits (§4.3.1)
+// and the runtime offloader schedules (§4.3.2), together with the
+// capability matrix of the three SSD computation resources and the
+// instruction transformation tables that map each vector operation to the
+// native ISA of its target resource (MVE for ISP, bbop for PuD-SSD,
+// MWS/shift-and-add for IFP).
+package isa
+
+import "fmt"
+
+// Op is a vector IR operation.
+type Op uint8
+
+// Vector IR operations. The set covers the operations observed in the six
+// evaluated workloads: bulk bitwise, integer arithmetic, predication and
+// relational, data movement, reduction, shuffle, and opaque scalar
+// (non-vectorizable control) work.
+const (
+	OpAnd Op = iota
+	OpOr
+	OpXor
+	OpNot
+	OpNand
+	OpNor
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpShl
+	OpShr
+	OpLT
+	OpGT
+	OpEQ
+	OpMin
+	OpMax
+	OpSelect
+	OpCopy
+	OpBroadcast
+	OpReduceAdd
+	OpShuffle
+	OpScalar // opaque non-vectorized control/bookkeeping region
+	numOps
+)
+
+// NumOps reports the size of the IR operation set.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	"and", "or", "xor", "not", "nand", "nor",
+	"add", "sub", "mul", "div", "shl", "shr",
+	"lt", "gt", "eq", "min", "max", "select",
+	"copy", "broadcast", "reduce_add", "shuffle", "scalar",
+}
+
+// String names the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("isa.Op(%d)", uint8(o))
+}
+
+// Class groups operations the way the paper's cost function consumes them
+// (Table 1, "operation type").
+type Class uint8
+
+// Operation classes.
+const (
+	ClassBitwise Class = iota
+	ClassArithmetic
+	ClassPredication
+	ClassMove
+	ClassReduction
+	ClassControl
+)
+
+// String names the class.
+func (c Class) String() string {
+	return [...]string{"bitwise", "arithmetic", "predication", "move", "reduction", "control"}[c]
+}
+
+// Class reports the operation's class.
+func (o Op) Class() Class {
+	switch o {
+	case OpAnd, OpOr, OpXor, OpNot, OpNand, OpNor, OpShl, OpShr:
+		return ClassBitwise
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return ClassArithmetic
+	case OpLT, OpGT, OpEQ, OpMin, OpMax, OpSelect:
+		return ClassPredication
+	case OpCopy, OpBroadcast, OpShuffle:
+		return ClassMove
+	case OpReduceAdd:
+		return ClassReduction
+	case OpScalar:
+		return ClassControl
+	default:
+		panic(fmt.Sprintf("isa: unclassified op %v", o))
+	}
+}
+
+// LatencyBand is the workload-characterization band of Table 3.
+type LatencyBand uint8
+
+// Latency bands (Table 3: low = bitwise/logical, medium = add/predication,
+// high = multiplication and other long operations).
+const (
+	LatencyLow LatencyBand = iota
+	LatencyMedium
+	LatencyHigh
+)
+
+// String names the band.
+func (b LatencyBand) String() string {
+	return [...]string{"low", "medium", "high"}[b]
+}
+
+// Band reports the operation's latency band.
+func (o Op) Band() LatencyBand {
+	switch o {
+	case OpAnd, OpOr, OpXor, OpNot, OpNand, OpNor, OpShl, OpShr, OpCopy, OpBroadcast:
+		return LatencyLow
+	case OpAdd, OpSub, OpLT, OpGT, OpEQ, OpMin, OpMax, OpSelect, OpScalar, OpShuffle:
+		return LatencyMedium
+	case OpMul, OpDiv, OpReduceAdd:
+		return LatencyHigh
+	default:
+		panic(fmt.Sprintf("isa: unbanded op %v", o))
+	}
+}
+
+// Arity reports how many vector sources the operation consumes.
+func (o Op) Arity() int {
+	switch o {
+	case OpNot, OpCopy, OpReduceAdd, OpShuffle:
+		return 1
+	case OpShl, OpShr: // shift amount is the immediate
+		return 1
+	case OpBroadcast, OpScalar:
+		return 0
+	case OpSelect:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// ScalarCyclesPerLane is the controller-core cost of one un-vectorized
+// lane operation (scalar load/op/store); shared by the compiler's work
+// estimator and the ISP execution model.
+const ScalarCyclesPerLane = 4
+
+// ImmReplacesSrc reports whether UseImm substitutes the operation's last
+// vector source with a broadcast immediate. For shifts and shuffles the
+// immediate is an intrinsic parameter (shift amount, rotation) and does not
+// replace a source.
+func (o Op) ImmReplacesSrc() bool {
+	switch o {
+	case OpShl, OpShr, OpShuffle, OpBroadcast, OpScalar:
+		return false
+	default:
+		return o.Arity() > 0
+	}
+}
+
+// PageID is a logical page number in the SSD's logical address space. Every
+// vector operand occupies exactly one logical page (the compile-time pass
+// aligns vectors to the flash page size, §4.3.1).
+type PageID int32
+
+// NoPage marks an absent operand (e.g. the destination of scalar work).
+const NoPage PageID = -1
+
+// Meta is the lightweight metadata the compiler embeds with each vector
+// operation to keep runtime offloading decisions cheap (§4.3.1).
+type Meta struct {
+	Class        Class // operation type feature of the cost function
+	Unvectorized bool  // true for strip-mined remainders and loops the
+	// vectorizer rejected: they execute lane-serially on the controller
+	// cores (ISP), matching §7's auto-vectorization limits
+	LoopID       int // source loop, for reporting
+	OperandBytes int // total operand footprint in bytes
+}
+
+// Inst is one vector IR instruction.
+type Inst struct {
+	ID     int    // position in the program, used as the dependence key
+	Op     Op     // operation
+	Dst    PageID // destination logical page (NoPage for scalar work)
+	Srcs   []PageID
+	Imm    uint64 // immediate operand (shift amount, broadcast value, ...)
+	UseImm bool   // when set, the last source lane input is the immediate
+	Elem   int    // element size in bytes (1, 2 or 4)
+	Lanes  int    // vector lanes; Lanes*Elem = vector footprint in bytes
+
+	// ScalarCycles is the controller-core cycle cost of an OpScalar
+	// region (control-intensive code that was not vectorized).
+	ScalarCycles int64
+
+	Deps []int // IDs of instructions producing this instruction's operands
+	Meta Meta
+}
+
+// VectorBytes reports the instruction's vector footprint.
+func (in *Inst) VectorBytes() int { return in.Lanes * in.Elem }
+
+// Program is a compiled instruction stream plus its data layout.
+type Program struct {
+	Name  string
+	Insts []Inst
+	// Pages is the number of logical pages the program addresses; valid
+	// PageIDs are [0, Pages).
+	Pages int
+	// InputPages lists pages holding application input data that reside
+	// on flash when execution starts (§4.4: all application data resides
+	// in the SSD at the start).
+	InputPages []PageID
+	// OutputPages lists pages whose final values the host may read back;
+	// pages outside this set are compiler temporaries whose values die at
+	// their last reference, which the runtime exploits to skip useless
+	// write-backs.
+	OutputPages []PageID
+}
+
+// Validate checks structural well-formedness: operand counts match the
+// operation arity, page IDs are in range, dependence edges point backwards
+// to real producers, and element/lane geometry is sane.
+func (p *Program) Validate() error {
+	producers := make(map[PageID]int)
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.ID != i {
+			return fmt.Errorf("isa: inst %d has ID %d; IDs must be positional", i, in.ID)
+		}
+		if in.Op >= numOps {
+			return fmt.Errorf("isa: inst %d has unknown op %d", i, uint8(in.Op))
+		}
+		if in.Op == OpScalar {
+			if in.ScalarCycles <= 0 {
+				return fmt.Errorf("isa: scalar inst %d needs positive cycle cost", i)
+			}
+		} else {
+			if in.Elem != 1 && in.Elem != 2 && in.Elem != 4 {
+				return fmt.Errorf("isa: inst %d has element size %d", i, in.Elem)
+			}
+			if in.Lanes <= 0 {
+				return fmt.Errorf("isa: inst %d has %d lanes", i, in.Lanes)
+			}
+			if in.Dst == NoPage && in.Op != OpScalar {
+				return fmt.Errorf("isa: inst %d (%v) lacks a destination", i, in.Op)
+			}
+		}
+		wantSrcs := in.Op.Arity()
+		if in.UseImm && in.Op.ImmReplacesSrc() {
+			wantSrcs--
+		}
+		if in.Op != OpScalar && len(in.Srcs) != wantSrcs {
+			return fmt.Errorf("isa: inst %d (%v) has %d sources, want %d",
+				i, in.Op, len(in.Srcs), wantSrcs)
+		}
+		for _, s := range in.Srcs {
+			if s < 0 || int(s) >= p.Pages {
+				return fmt.Errorf("isa: inst %d source page %d out of range [0,%d)", i, s, p.Pages)
+			}
+		}
+		if in.Dst != NoPage && int(in.Dst) >= p.Pages {
+			return fmt.Errorf("isa: inst %d destination page %d out of range", i, in.Dst)
+		}
+		for _, d := range in.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("isa: inst %d dependence %d is not an earlier instruction", i, d)
+			}
+		}
+		if in.Dst != NoPage {
+			producers[in.Dst] = i
+		}
+	}
+	return nil
+}
+
+// InferDeps fills in Deps from producer/consumer page relationships:
+// an instruction depends on the most recent earlier instruction that wrote
+// any of its source pages (RAW), and on the most recent earlier reader or
+// writer of its destination page (WAR/WAW), which serializes page reuse.
+func (p *Program) InferDeps() {
+	lastWriter := make(map[PageID]int)
+	lastAccess := make(map[PageID]int)
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		deps := map[int]bool{}
+		for _, s := range in.Srcs {
+			if w, ok := lastWriter[s]; ok {
+				deps[w] = true
+			}
+		}
+		if in.Dst != NoPage {
+			if a, ok := lastAccess[in.Dst]; ok && a != i {
+				deps[a] = true
+			}
+		}
+		in.Deps = in.Deps[:0]
+		for d := range deps {
+			in.Deps = append(in.Deps, d)
+		}
+		sortInts(in.Deps)
+		for _, s := range in.Srcs {
+			lastAccess[s] = i
+		}
+		if in.Dst != NoPage {
+			lastWriter[in.Dst] = i
+			lastAccess[in.Dst] = i
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

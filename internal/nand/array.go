@@ -1,0 +1,500 @@
+package nand
+
+import (
+	"fmt"
+
+	"conduit/internal/config"
+	"conduit/internal/energy"
+	"conduit/internal/sim"
+)
+
+// pageState tracks the lifecycle of one physical page.
+type pageState uint8
+
+const (
+	pageErased pageState = iota
+	pageProgrammed
+)
+
+// Buffer is the per-plane page-buffer latch set. IFP primitives leave their
+// result here; it stays until the next operation on the plane overwrites it,
+// it is flushed to a flash page, or it is read out over the channel.
+type Buffer struct {
+	Data  []byte
+	Valid bool
+	// Tag identifies what the buffer holds; the SSD runtime uses it to
+	// reuse latched results (the paper's data-reuse amortization).
+	Tag int64
+}
+
+// Operand names one input to an in-flash operation: a programmed flash
+// page (sensed), the current contents of the plane's page buffer (chained
+// result reuse), or data loaded into a spare page-buffer latch over the
+// channel (ParaBit/Ares-Flash style latch operands — how DRAM-resident or
+// cross-plane data participates without a flash program).
+type Operand struct {
+	Addr     Addr
+	InBuffer bool   // take the plane buffer instead of sensing Addr
+	Data     []byte // latch-loaded data; Addr is ignored when set
+}
+
+// BitOp enumerates the bulk bitwise operations IFP supports
+// (Flash-Cosmos multi-wordline sensing plus latch-based XOR).
+type BitOp int
+
+// Bitwise operation kinds.
+const (
+	BitAnd BitOp = iota
+	BitOr
+	BitNand
+	BitNor
+	BitXor
+	BitXnor
+	BitNot
+)
+
+// ArithOp enumerates the latch-based integer arithmetic operations
+// (Ares-Flash shift-and-add).
+type ArithOp int
+
+// Arithmetic operation kinds.
+const (
+	ArithAdd ArithOp = iota
+	ArithSub
+	ArithMul
+	ArithShl
+	ArithShr
+)
+
+// Array is the functional + timed NAND flash subsystem.
+type Array struct {
+	cfg  *config.SSD
+	geo  Geometry
+	en   *energy.Account
+	dies []*sim.Calendar // one per die: senses/programs/erases/latch ops serialize here
+	bus  []*sim.Calendar // one per channel: data transfers serialize here
+
+	data      map[int][]byte // flat page index -> bytes (lazy; erased pages read as 0xFF)
+	state     []pageState
+	erases    []int       // per block
+	buffers   []*Buffer   // per plane
+	bitErrors map[int]int // injected raw-cell bit flips per page (see ecc.go)
+
+	// Counters for experiment reporting.
+	senses, programs, eraseOps, mwsOps, latchRounds, fcTransfers int64
+	bytesOut, bytesIn                                            int64
+	eccCorrections, eccFailures                                  int64
+
+	eProg, eErase float64 // derived energies (see NewArray)
+}
+
+// NewArray builds the flash subsystem for cfg, charging energy to en.
+func NewArray(cfg *config.SSD, en *energy.Account) *Array {
+	geo := NewGeometry(cfg)
+	a := &Array{
+		cfg:       cfg,
+		geo:       geo,
+		en:        en,
+		data:      make(map[int][]byte),
+		bitErrors: make(map[int]int),
+		state:     make([]pageState, cfg.TotalPages()),
+		erases:    make([]int, geo.TotalBlocks()),
+		buffers:   make([]*Buffer, cfg.Channels*cfg.DiesPerChannel*cfg.PlanesPerDie),
+	}
+	for i := range a.buffers {
+		a.buffers[i] = &Buffer{}
+	}
+	for d := 0; d < cfg.TotalDies(); d++ {
+		a.dies = append(a.dies, sim.NewCalendar(fmt.Sprintf("die%d", d)))
+	}
+	for c := 0; c < cfg.Channels; c++ {
+		a.bus = append(a.bus, sim.NewCalendar(fmt.Sprintf("flashch%d", c)))
+	}
+	// Table 2 gives no program/erase energies; scale the sense energy by
+	// the latency ratio, which matches published NAND power envelopes.
+	a.eProg = cfg.EReadPerChannel * float64(cfg.TProg) / float64(cfg.TRead)
+	a.eErase = cfg.EReadPerChannel * float64(cfg.TErase) / float64(cfg.TRead)
+	return a
+}
+
+// Geometry exposes the address arithmetic of the array.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// DieCalendar returns the timing calendar of die d (flattened index), used
+// by offloading policies to observe IFP queueing delay.
+func (a *Array) DieCalendar(d int) *sim.Calendar { return a.dies[d] }
+
+// BusCalendar returns the timing calendar of channel c.
+func (a *Array) BusCalendar(c int) *sim.Calendar { return a.bus[c] }
+
+// PlaneBuffer returns the page buffer of the plane holding addr.
+func (a *Array) PlaneBuffer(addr Addr) *Buffer { return a.buffers[a.geo.PlaneIndex(addr)] }
+
+// EraseCount reports how many times block b (flat index) has been erased.
+func (a *Array) EraseCount(b int) int { return a.erases[b] }
+
+// PageData returns the stored bytes of addr without timing effects (test
+// and verification hook). Erased pages read as 0xFF.
+func (a *Array) PageData(addr Addr) []byte {
+	return append([]byte(nil), a.raw(addr)...)
+}
+
+// IsProgrammed reports whether addr holds data.
+func (a *Array) IsProgrammed(addr Addr) bool {
+	return a.state[a.geo.PageIndex(addr)] == pageProgrammed
+}
+
+func (a *Array) raw(addr Addr) []byte {
+	idx := a.geo.PageIndex(addr)
+	if d, ok := a.data[idx]; ok {
+		return d
+	}
+	erased := make([]byte, a.cfg.PageSize)
+	for i := range erased {
+		erased[i] = 0xFF
+	}
+	return erased
+}
+
+// --- Basic I/O operations -------------------------------------------------
+
+// Read senses addr and transfers the page to the flash controller. It
+// returns a copy of the data and the completion time. ready constrains the
+// earliest start (operand availability). Read does not run the FC's ECC
+// decode; the storage I/O path uses ReadChecked.
+func (a *Array) Read(now, ready sim.Time, addr Addr) ([]byte, sim.Time) {
+	die := a.dies[a.geo.DieIndex(addr)]
+	_, sensed := die.Reserve(now, ready, a.cfg.TRead)
+	_, done := a.bus[addr.Channel].Reserve(now, sensed, a.cfg.ChannelTransferTime(a.cfg.PageSize))
+	a.senses++
+	a.bytesOut += int64(a.cfg.PageSize)
+	a.en.Compute("ifp", a.cfg.EReadPerChannel)
+	a.en.Move("flash-channel", a.cfg.EDMAPerChannel)
+	return a.PageData(addr), done
+}
+
+// ReadChecked is the storage I/O read path: Read plus the flash
+// controller's ECC decode (§2.1). Correctable raw-bit errors add the
+// decode latency; uncorrectable pages return ErrUncorrectable, which the
+// runtime surfaces through the §4.4 transient-fault path.
+func (a *Array) ReadChecked(now, ready sim.Time, addr Addr) ([]byte, sim.Time, error) {
+	data, done := a.Read(now, ready, addr)
+	lat, err := a.eccCheck(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, done + lat, nil
+}
+
+// Program writes data to the erased page addr, transferring it over the
+// channel first. It panics on a program to a non-erased page: the FTL must
+// erase first, and violating that is always a bug above us.
+func (a *Array) Program(now, ready sim.Time, addr Addr, data []byte) sim.Time {
+	idx := a.geo.PageIndex(addr)
+	if a.state[idx] == pageProgrammed {
+		panic(fmt.Sprintf("nand: program to programmed page %v", addr))
+	}
+	if len(data) != a.cfg.PageSize {
+		panic(fmt.Sprintf("nand: program size %d != page size %d", len(data), a.cfg.PageSize))
+	}
+	_, moved := a.bus[addr.Channel].Reserve(now, ready, a.cfg.ChannelTransferTime(len(data)))
+	die := a.dies[a.geo.DieIndex(addr)]
+	_, done := die.Reserve(now, moved, a.cfg.TProg)
+	a.data[idx] = append([]byte(nil), data...)
+	delete(a.bitErrors, idx)
+	a.state[idx] = pageProgrammed
+	a.programs++
+	a.bytesIn += int64(len(data))
+	a.en.Compute("ifp", a.eProg)
+	a.en.Move("flash-channel", a.cfg.EDMAPerChannel)
+	return done
+}
+
+// Erase erases the block containing addr, resetting all its pages.
+func (a *Array) Erase(now sim.Time, addr Addr) sim.Time {
+	die := a.dies[a.geo.DieIndex(addr)]
+	_, done := die.Reserve(now, now, a.cfg.TErase)
+	base := addr
+	for p := 0; p < a.cfg.PagesPerBlock; p++ {
+		base.Page = p
+		idx := a.geo.PageIndex(base)
+		delete(a.data, idx)
+		delete(a.bitErrors, idx)
+		a.state[idx] = pageErased
+	}
+	a.erases[a.geo.BlockIndex(addr)]++
+	a.eraseOps++
+	a.en.Compute("ifp", a.eErase)
+	return done
+}
+
+// --- In-flash processing primitives ---------------------------------------
+
+// MaxAndOperands is the Flash-Cosmos limit on simultaneously sensed
+// wordlines within a block (48-WL-layer 3D NAND).
+const MaxAndOperands = 48
+
+// MaxOrOperands is the Flash-Cosmos limit on simultaneously sensed blocks
+// within a plane.
+const MaxOrOperands = 4
+
+// Bitwise performs a bulk bitwise operation across the operands and leaves
+// the result in the plane's page buffer. Flash-resident operands must share
+// one plane; AND/NAND within one block (or OR/NOR across up to four blocks)
+// complete in a single multi-wordline sense, other flash operands are
+// sensed serially into the latches. InBuffer operands consume the current
+// plane buffer; Data operands were latch-loaded over the channel.
+//
+// The returned time is when the result is latched; no data leaves the chip.
+func (a *Array) Bitwise(now, ready sim.Time, op BitOp, ops []Operand) (sim.Time, error) {
+	if len(ops) == 0 {
+		return 0, fmt.Errorf("nand: bitwise %v with no operands", op)
+	}
+	switch op {
+	case BitAnd, BitNand, BitOr, BitNor, BitXor, BitXnor:
+	case BitNot:
+		if len(ops) != 1 {
+			return 0, fmt.Errorf("nand: NOT takes one operand, got %d", len(ops))
+		}
+	default:
+		return 0, fmt.Errorf("nand: unknown bitwise op %d", op)
+	}
+	prof, err := profileOperands(a.geo, op, ops)
+	if err != nil {
+		return 0, err
+	}
+	home := homeAddr(ops)
+	buf := a.PlaneBuffer(home)
+	die := a.dies[a.geo.DieIndex(home)]
+
+	// Gather operand values; verify buffer operands are actually latched.
+	vals := make([][]byte, len(ops))
+	for i, o := range ops {
+		switch {
+		case o.Data != nil:
+			if len(o.Data) != a.cfg.PageSize {
+				return 0, fmt.Errorf("nand: latch operand %d is %d bytes", i, len(o.Data))
+			}
+			vals[i] = o.Data
+		case o.InBuffer:
+			if !buf.Valid {
+				return 0, fmt.Errorf("nand: operand %d expects plane buffer, which is empty", i)
+			}
+			vals[i] = buf.Data
+		default:
+			if !a.IsProgrammed(o.Addr) {
+				return 0, fmt.Errorf("nand: operand %d page %v not programmed", i, o.Addr)
+			}
+			vals[i] = a.raw(o.Addr)
+		}
+	}
+
+	dur := EstimateBitwise(a.cfg, op, prof)
+	switch op {
+	case BitXor, BitXnor:
+		a.en.Compute("ifp", float64(prof.Senses)*a.cfg.EReadPerChannel+a.cfg.EXorPerKB*float64(a.cfg.PageSize)/1024)
+	default:
+		a.en.Compute("ifp", float64(prof.Senses)*a.cfg.EReadPerChannel+a.cfg.EAndOrPerKB*float64(a.cfg.PageSize)/1024)
+	}
+	a.senses += int64(prof.Senses)
+	a.fcTransfers += int64(prof.Loads)
+	if prof.Loads > 0 {
+		a.en.Move("flash-channel", float64(prof.Loads)*a.cfg.EDMAPerChannel)
+	}
+	a.mwsOps++
+	_, done := die.Reserve(now, ready, dur)
+
+	// Functional result.
+	out := make([]byte, a.cfg.PageSize)
+	copy(out, vals[0])
+	for _, v := range vals[1:] {
+		for i := range out {
+			switch op {
+			case BitAnd, BitNand:
+				out[i] &= v[i]
+			case BitOr, BitNor:
+				out[i] |= v[i]
+			case BitXor, BitXnor:
+				out[i] ^= v[i]
+			}
+		}
+	}
+	switch op {
+	case BitNand, BitNor, BitXnor, BitNot:
+		for i := range out {
+			out[i] = ^out[i]
+		}
+	}
+	buf.Data = out
+	buf.Valid = true
+	return done, nil
+}
+
+// Arith performs elementwise integer arithmetic in the page-buffer latches
+// (Ares-Flash shift-and-add) and leaves the result in the plane buffer.
+// elem is the element size in bytes (1, 2 or 4); imm is the shift amount
+// for ArithShl/ArithShr, whose second operand is ignored.
+//
+// Multiplication is deliberately expensive: each of the elem*8 partial-
+// product rounds needs a shift through the flash controller (one DMA
+// round-trip), which is why the paper's policies avoid IFP for
+// multiplication-heavy phases (§6.4/§6.5).
+func (a *Array) Arith(now, ready sim.Time, op ArithOp, x, y Operand, elem int, imm uint) (sim.Time, error) {
+	if elem != 1 && elem != 2 && elem != 4 {
+		return 0, fmt.Errorf("nand: unsupported element size %d", elem)
+	}
+	switch op {
+	case ArithAdd, ArithSub, ArithMul, ArithShl, ArithShr:
+	default:
+		return 0, fmt.Errorf("nand: unknown arith op %d", op)
+	}
+	operands := []Operand{x}
+	if op != ArithShl && op != ArithShr {
+		operands = append(operands, y)
+	}
+	// Arithmetic is latch-serial: XOR-style profiling (no MWS).
+	prof, err := profileOperands(a.geo, BitXor, operands)
+	if err != nil {
+		return 0, err
+	}
+	home := homeAddr(operands)
+	buf := a.PlaneBuffer(home)
+	die := a.dies[a.geo.DieIndex(home)]
+
+	vals := make([][]byte, len(operands))
+	for i, o := range operands {
+		switch {
+		case o.Data != nil:
+			if len(o.Data) != a.cfg.PageSize {
+				return 0, fmt.Errorf("nand: latch operand %d is %d bytes", i, len(o.Data))
+			}
+			vals[i] = o.Data
+		case o.InBuffer:
+			if !buf.Valid {
+				return 0, fmt.Errorf("nand: operand %d expects plane buffer, which is empty", i)
+			}
+			vals[i] = buf.Data
+		default:
+			if !a.IsProgrammed(o.Addr) {
+				return 0, fmt.Errorf("nand: operand %d page %v not programmed", i, o.Addr)
+			}
+			vals[i] = a.raw(o.Addr)
+		}
+	}
+
+	dur, rounds, fcTransfers := EstimateArith(a.cfg, op, elem, prof)
+	if fcTransfers > 0 {
+		a.fcTransfers += fcTransfers
+		a.en.Move("flash-channel", float64(fcTransfers)*a.cfg.EDMAPerChannel)
+	}
+	a.latchRounds += rounds
+	a.senses += int64(prof.Senses)
+	a.en.Compute("ifp",
+		float64(prof.Senses)*a.cfg.EReadPerChannel+
+			float64(rounds)*a.cfg.ELatchPerKB*float64(a.cfg.PageSize)/1024)
+	_, done := die.Reserve(now, ready, dur)
+
+	// Functional result.
+	out := make([]byte, a.cfg.PageSize)
+	n := a.cfg.PageSize / elem
+	for i := 0; i < n; i++ {
+		xv := loadElem(vals[0], i, elem)
+		var r uint64
+		switch op {
+		case ArithAdd:
+			r = xv + loadElem(vals[1], i, elem)
+		case ArithSub:
+			r = xv - loadElem(vals[1], i, elem)
+		case ArithMul:
+			r = xv * loadElem(vals[1], i, elem)
+		case ArithShl:
+			r = xv << imm
+		case ArithShr:
+			r = xv >> imm
+		}
+		storeElem(out, i, elem, r)
+	}
+	buf.Data = out
+	buf.Valid = true
+	return done, nil
+}
+
+// FlushBuffer programs the plane buffer into the erased page dst.
+func (a *Array) FlushBuffer(now, ready sim.Time, dst Addr) (sim.Time, error) {
+	buf := a.PlaneBuffer(dst)
+	if !buf.Valid {
+		return 0, fmt.Errorf("nand: flush of empty plane buffer at %v", dst)
+	}
+	idx := a.geo.PageIndex(dst)
+	if a.state[idx] == pageProgrammed {
+		return 0, fmt.Errorf("nand: flush to programmed page %v", dst)
+	}
+	die := a.dies[a.geo.DieIndex(dst)]
+	_, done := die.Reserve(now, ready, a.cfg.TProg)
+	a.data[idx] = append([]byte(nil), buf.Data...)
+	a.state[idx] = pageProgrammed
+	a.programs++
+	a.en.Compute("ifp", a.eProg)
+	return done, nil
+}
+
+// ReadBuffer transfers the plane buffer out over the channel to the flash
+// controller, returning a copy and the completion time.
+func (a *Array) ReadBuffer(now, ready sim.Time, plane Addr) ([]byte, sim.Time, error) {
+	buf := a.PlaneBuffer(plane)
+	if !buf.Valid {
+		return nil, 0, fmt.Errorf("nand: read of empty plane buffer at %v", plane)
+	}
+	_, done := a.bus[plane.Channel].Reserve(now, ready, a.cfg.ChannelTransferTime(a.cfg.PageSize))
+	a.bytesOut += int64(a.cfg.PageSize)
+	a.en.Move("flash-channel", a.cfg.EDMAPerChannel)
+	return append([]byte(nil), buf.Data...), done, nil
+}
+
+// SetPageForTest force-writes page contents without timing, for building
+// test fixtures. It marks the page programmed.
+func (a *Array) SetPageForTest(addr Addr, data []byte) {
+	if len(data) != a.cfg.PageSize {
+		panic("nand: SetPageForTest size mismatch")
+	}
+	idx := a.geo.PageIndex(addr)
+	a.data[idx] = append([]byte(nil), data...)
+	a.state[idx] = pageProgrammed
+}
+
+// Stats reports operation counts for experiment tables.
+func (a *Array) Stats() map[string]int64 {
+	return map[string]int64{
+		"senses":          a.senses,
+		"programs":        a.programs,
+		"erases":          a.eraseOps,
+		"mws_ops":         a.mwsOps,
+		"latch_rounds":    a.latchRounds,
+		"fc_transfers":    a.fcTransfers,
+		"bytes_out":       a.bytesOut,
+		"bytes_in":        a.bytesIn,
+		"ecc_corrections": a.eccCorrections,
+		"ecc_failures":    a.eccFailures,
+	}
+}
+
+func loadElem(p []byte, i, elem int) uint64 {
+	off := i * elem
+	var v uint64
+	for b := 0; b < elem; b++ {
+		v |= uint64(p[off+b]) << (8 * b)
+	}
+	return v
+}
+
+func storeElem(p []byte, i, elem int, v uint64) {
+	off := i * elem
+	mask := uint64(1)<<(8*elem) - 1
+	if elem == 8 {
+		mask = ^uint64(0)
+	}
+	v &= mask
+	for b := 0; b < elem; b++ {
+		p[off+b] = byte(v >> (8 * b))
+	}
+}

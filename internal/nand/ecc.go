@@ -1,0 +1,66 @@
+package nand
+
+import (
+	"fmt"
+
+	"conduit/internal/sim"
+)
+
+// The flash controller protects every page with an error-correcting code
+// (§2.1: ECC encoding/decoding is one of the FC's three functions). The
+// model keeps the stored bytes authoritative and represents raw-cell
+// errors as an injected bit-flip overlay: on read, the FC decodes —
+// correcting up to ECCCorrectableBits flips at a fixed decode latency —
+// or reports an uncorrectable page, which the upper layers turn into the
+// §4.4 transient-fault replay path.
+
+// ECCCorrectableBits is the per-page correction strength (a typical
+// BCH/LDPC budget for 16 KiB pages in SLC mode).
+const ECCCorrectableBits = 8
+
+// eccDecodeLatency is the FC decode time charged when a read needs
+// correction.
+const eccDecodeLatency = 2 * sim.Microsecond
+
+// ErrUncorrectable reports a page whose raw-bit errors exceed the ECC
+// correction strength.
+type ErrUncorrectable struct {
+	Addr Addr
+	Bits int
+}
+
+// Error implements error.
+func (e *ErrUncorrectable) Error() string {
+	return fmt.Sprintf("nand: %v: %d bit errors exceed ECC strength %d", e.Addr, e.Bits, ECCCorrectableBits)
+}
+
+// InjectBitErrors adds n raw-cell bit flips to the stored page (test and
+// fault-injection hook). Flips accumulate across calls until the page is
+// erased or reprogrammed.
+func (a *Array) InjectBitErrors(addr Addr, n int) {
+	idx := a.geo.PageIndex(addr)
+	a.bitErrors[idx] += n
+}
+
+// eccCheck applies the FC decode to a read of addr: it returns the extra
+// decode latency and an error when the page is uncorrectable. Corrected
+// reads are counted.
+func (a *Array) eccCheck(addr Addr) (sim.Time, error) {
+	idx := a.geo.PageIndex(addr)
+	bits := a.bitErrors[idx]
+	if bits == 0 {
+		return 0, nil
+	}
+	if bits > ECCCorrectableBits {
+		a.eccFailures++
+		return 0, &ErrUncorrectable{Addr: addr, Bits: bits}
+	}
+	a.eccCorrections++
+	return eccDecodeLatency, nil
+}
+
+// ECCCorrections reports how many reads needed (and got) correction.
+func (a *Array) ECCCorrections() int64 { return a.eccCorrections }
+
+// ECCFailures reports how many reads exceeded the correction strength.
+func (a *Array) ECCFailures() int64 { return a.eccFailures }

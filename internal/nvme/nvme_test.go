@@ -1,0 +1,179 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+
+	"conduit/internal/config"
+	"conduit/internal/isa"
+	"conduit/internal/offload"
+	"conduit/internal/sim"
+	"conduit/internal/ssd"
+)
+
+func testProgram(ps int) (*isa.Program, map[isa.PageID][]byte) {
+	r := sim.NewRNG(42)
+	a := make([]byte, ps)
+	b := make([]byte, ps)
+	r.Bytes(a)
+	r.Bytes(b)
+	prog := &isa.Program{
+		Name:  "nvme-test",
+		Pages: 3,
+		Insts: []isa.Inst{
+			{ID: 0, Op: isa.OpXor, Dst: 2, Srcs: []isa.PageID{0, 1}, Elem: 1, Lanes: ps},
+		},
+		InputPages: []isa.PageID{0, 1},
+	}
+	prog.InferDeps()
+	return prog, map[isa.PageID][]byte{0: a, 1: b}
+}
+
+func newController(t *testing.T) (*Controller, *config.Config) {
+	t.Helper()
+	cfg := config.TestScale()
+	return NewController(ssd.New(&cfg)), &cfg
+}
+
+func TestFullHostFlow(t *testing.T) {
+	c, cfg := newController(t)
+	prog, inputs := testProgram(cfg.SSD.PageSize)
+
+	// 1. Host writes input data via regular I/O.
+	for p, d := range inputs {
+		if err := c.WritePage(p, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2. Host transfers the Conduit binary in chunks.
+	img, err := MarshalProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(img) / 2
+	if err := c.FWDownload(img[:half], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FWDownload(img[half:], half); err != nil {
+		t.Fatal(err)
+	}
+	// 3. Commit with the Conduit flag installs the program.
+	if err := c.FWCommit(true); err != nil {
+		t.Fatal(err)
+	}
+	if c.Committed() == nil {
+		t.Fatal("no committed program")
+	}
+	// 4. Computation mode: host I/O refused, program runs.
+	c.EnterComputationMode()
+	if err := c.WritePage(0, inputs[0]); err == nil {
+		t.Fatal("write must be refused in computation mode")
+	}
+	if _, err := c.ReadPage(2); err == nil {
+		t.Fatal("read must be refused in computation mode")
+	}
+	if _, err := c.Device().Run(offload.Conduit{}); err != nil {
+		t.Fatal(err)
+	}
+	// 5. Back to I/O mode: result readable, with host-transfer sync.
+	c.ExitComputationMode()
+	got, err := c.ReadPage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, cfg.SSD.PageSize)
+	for i := range want {
+		want[i] = inputs[0][i] ^ inputs[1][i]
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("host read returned wrong result")
+	}
+}
+
+func TestHostReadTimedPath(t *testing.T) {
+	c, cfg := newController(t)
+	prog, inputs := testProgram(cfg.SSD.PageSize)
+	for p, d := range inputs {
+		if err := c.WritePage(p, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, _ := MarshalProgram(prog)
+	if err := c.FWDownload(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FWCommit(true); err != nil {
+		t.Fatal(err)
+	}
+	c.EnterComputationMode()
+	if _, err := c.Device().Run(offload.Conduit{}); err != nil {
+		t.Fatal(err)
+	}
+	c.ExitComputationMode()
+	data, done, err := c.HostRead(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency must cover at least a flash sense plus the PCIe transfer.
+	min := cfg.SSD.TRead + cfg.SSD.PCIeTransferTime(cfg.SSD.PageSize)
+	if done < min {
+		t.Fatalf("host read latency %v below physical floor %v", done, min)
+	}
+	want := make([]byte, cfg.SSD.PageSize)
+	for i := range want {
+		want[i] = inputs[0][i] ^ inputs[1][i]
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatal("host read returned wrong data")
+	}
+}
+
+func TestOutOfOrderDownloadRejected(t *testing.T) {
+	c, _ := newController(t)
+	if err := c.FWDownload([]byte{1, 2, 3}, 5); err == nil {
+		t.Fatal("out-of-order chunk must be rejected")
+	}
+}
+
+func TestVendorFirmwarePathIgnored(t *testing.T) {
+	c, _ := newController(t)
+	if err := c.FWDownload([]byte("vendor-blob"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FWCommit(false); err != nil {
+		t.Fatal("vendor firmware commit should be accepted")
+	}
+	if c.Committed() != nil {
+		t.Fatal("vendor firmware must not install a Conduit program")
+	}
+}
+
+func TestCorruptBinaryRejected(t *testing.T) {
+	c, _ := newController(t)
+	if err := c.FWDownload([]byte("garbage"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FWCommit(true); err == nil {
+		t.Fatal("corrupt Conduit binary must be rejected")
+	}
+}
+
+func TestCommitRefusedInComputationMode(t *testing.T) {
+	c, cfg := newController(t)
+	prog, _ := testProgram(cfg.SSD.PageSize)
+	img, _ := MarshalProgram(prog)
+	if err := c.FWDownload(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.EnterComputationMode()
+	if err := c.FWCommit(true); err == nil {
+		t.Fatal("commit must be refused in computation mode")
+	}
+}
+
+func TestReadUnstagedPage(t *testing.T) {
+	c, _ := newController(t)
+	if _, err := c.ReadPage(7); err == nil {
+		t.Fatal("reading an unstaged page before commit must fail")
+	}
+}

@@ -1,0 +1,292 @@
+// Package offload implements Conduit's runtime offloading decision — the
+// holistic cost function of §4.3.2 (Table 1 features, Eqn. 1–2) — together
+// with every prior policy the paper evaluates against it: bandwidth-based
+// offloading (BW-Offloading), data-movement-based offloading
+// (DM-Offloading), the unrealizable Ideal policy, and the four
+// single-resource techniques (ISP, PuD-SSD, Flash-Cosmos, Ares-Flash).
+//
+// Policies are pure functions of a Features snapshot; the SSD runtime
+// gathers the features (charging the §4.5 collection latencies) and then
+// executes whatever the chosen policy returns. This mirrors the paper's
+// split between the SSD offloader and its cost function.
+package offload
+
+import (
+	"fmt"
+
+	"conduit/internal/isa"
+	"conduit/internal/sim"
+)
+
+// Features is the per-instruction snapshot of the six cost-function inputs
+// (Table 1): operation type (on Inst.Meta / Inst.Op), operand location
+// (folded into MoveLatency, as §4.3.2 describes), data dependence delay,
+// per-resource queueing delay, data movement latency, and expected
+// computation latency. BWUtil carries the bandwidth-utilization signal that
+// BW-Offloading uses instead.
+type Features struct {
+	Inst *isa.Inst
+
+	Supported   [isa.NumResources]bool
+	CompLatency [isa.NumResources]sim.Time // expected computation latency
+	MoveLatency [isa.NumResources]sim.Time // operand movement to reach the resource
+	// ResultMove is the interconnect cost of placing the result where a
+	// consumer can use it (e.g. copying an in-flash result out of the
+	// plane latches). Conduit's holistic cost function prices it;
+	// DM-Offloading — which only minimizes operand movement — does not,
+	// which is one of the blind spots §3.2 identifies.
+	ResultMove [isa.NumResources]sim.Time
+	QueueDelay [isa.NumResources]sim.Time // pending work in the resource's queue
+	DepDelay   sim.Time                   // time until operands are produced
+	BWUtil     [isa.NumResources]float64  // utilization of the resource's data path
+}
+
+// TotalLatency evaluates Eqn. 1 for resource r:
+//
+//	total = latency_comp + latency_dm + max(delay_dd, delay_queue)
+//
+// The dependence and queueing delays overlap — an instruction starts when
+// both its operands and its resource are ready — hence the max.
+func (f *Features) TotalLatency(r isa.Resource) sim.Time {
+	wait := f.DepDelay
+	if f.QueueDelay[r] > wait {
+		wait = f.QueueDelay[r]
+	}
+	return f.CompLatency[r] + f.MoveLatency[r] + f.ResultMove[r] + wait
+}
+
+// Policy selects a computation resource for each vector instruction.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Select returns the chosen resource. At least one resource always
+	// supports the instruction (ISP executes the full ISA).
+	Select(f *Features) isa.Resource
+}
+
+// supportedFallback returns the first supported resource, preferring ISP
+// (which supports everything by construction).
+func supportedFallback(f *Features) isa.Resource {
+	if f.Supported[isa.ResISP] {
+		return isa.ResISP
+	}
+	for _, r := range isa.AllResources {
+		if f.Supported[r] {
+			return r
+		}
+	}
+	panic(fmt.Sprintf("offload: no resource supports %v", f.Inst.Op))
+}
+
+// argminOver picks the supported resource minimizing cost, breaking ties
+// toward the earlier resource in isa.AllResources order (deterministic).
+func argminOver(f *Features, cost func(isa.Resource) sim.Time) isa.Resource {
+	best := isa.Resource(255)
+	var bestCost sim.Time
+	for _, r := range isa.AllResources {
+		if !f.Supported[r] {
+			continue
+		}
+		c := cost(r)
+		if best == 255 || c < bestCost {
+			best, bestCost = r, c
+		}
+	}
+	if best == 255 {
+		return supportedFallback(f)
+	}
+	return best
+}
+
+// Conduit is the paper's policy: argmin over resources of Eqn. 1.
+type Conduit struct{}
+
+// Name implements Policy.
+func (Conduit) Name() string { return "Conduit" }
+
+// Select implements Eqn. 2: offloading_target = argmin(total_latency_i).
+func (Conduit) Select(f *Features) isa.Resource {
+	return argminOver(f, f.TotalLatency)
+}
+
+// DMOffloading models prior data-movement-minimizing offloaders
+// (e.g. ALP-style): it offloads each instruction to the resource that
+// minimizes operand data movement, ignoring resource utilization and
+// dependence delays. Ties break toward lower computation latency.
+type DMOffloading struct{}
+
+// Name implements Policy.
+func (DMOffloading) Name() string { return "DM-Offloading" }
+
+// Select implements Policy.
+func (DMOffloading) Select(f *Features) isa.Resource {
+	// Scale movement latency so it strictly dominates the compute
+	// tie-breaker.
+	return argminOver(f, func(r isa.Resource) sim.Time {
+		return f.MoveLatency[r]*1024 + f.CompLatency[r]
+	})
+}
+
+// BWOffloading models prior bandwidth-utilization-based offloaders
+// (e.g. TOM-style): it offloads each instruction to the least
+// bandwidth-utilized resource, ignoring movement cost.
+type BWOffloading struct{}
+
+// Name implements Policy.
+func (BWOffloading) Name() string { return "BW-Offloading" }
+
+// Select implements Policy.
+func (BWOffloading) Select(f *Features) isa.Resource {
+	best := isa.Resource(255)
+	bestUtil := 0.0
+	for _, r := range isa.AllResources {
+		if !f.Supported[r] {
+			continue
+		}
+		if best == 255 || f.BWUtil[r] < bestUtil {
+			best, bestUtil = r, f.BWUtil[r]
+		}
+	}
+	if best == 255 {
+		return supportedFallback(f)
+	}
+	return best
+}
+
+// Ideal is the unrealizable upper bound (§5.3): no queueing delays, zero
+// data movement, and the resource with the least computation latency. The
+// runtime honors the same assumptions when executing under Ideal.
+type Ideal struct{}
+
+// Name implements Policy.
+func (Ideal) Name() string { return "Ideal" }
+
+// Select implements Policy.
+func (Ideal) Select(f *Features) isa.Resource {
+	return argminOver(f, func(r isa.Resource) sim.Time {
+		return f.CompLatency[r]
+	})
+}
+
+// ISPOnly executes everything on the SSD controller cores.
+type ISPOnly struct{}
+
+// Name implements Policy.
+func (ISPOnly) Name() string { return "ISP" }
+
+// Select implements Policy.
+func (ISPOnly) Select(*Features) isa.Resource { return isa.ResISP }
+
+// PuDSSD models the MIMDRAM-based PuD-SSD baseline: DRAM for every
+// operation it supports, controller cores for the rest.
+type PuDSSD struct{}
+
+// Name implements Policy.
+func (PuDSSD) Name() string { return "PuD-SSD" }
+
+// Select implements Policy.
+func (PuDSSD) Select(f *Features) isa.Resource {
+	if f.Supported[isa.ResPuD] {
+		return isa.ResPuD
+	}
+	return isa.ResISP
+}
+
+// FlashCosmos models the Flash-Cosmos baseline: bulk bitwise operations in
+// the flash arrays via multi-wordline sensing; everything else on the
+// controller cores (§5.3: baselines leverage the controller cores for
+// computations they do not support).
+type FlashCosmos struct{}
+
+// Name implements Policy.
+func (FlashCosmos) Name() string { return "Flash-Cosmos" }
+
+// Select implements Policy.
+func (FlashCosmos) Select(f *Features) isa.Resource {
+	if f.Inst.Op.Class() == isa.ClassBitwise && f.Supported[isa.ResIFP] {
+		return isa.ResIFP
+	}
+	return isa.ResISP
+}
+
+// AresFlash models the Ares-Flash baseline: bulk bitwise and integer
+// arithmetic in flash; the rest on the controller cores.
+type AresFlash struct{}
+
+// Name implements Policy.
+func (AresFlash) Name() string { return "Ares-Flash" }
+
+// Select implements Policy.
+func (AresFlash) Select(f *Features) isa.Resource {
+	if f.Supported[isa.ResIFP] {
+		return isa.ResIFP
+	}
+	return isa.ResISP
+}
+
+// NaiveCombo is the case-study strawman of §3.1 ("naively combining IFP
+// and ISP"): it alternates IFP-capable instructions between flash and the
+// controller cores without considering where the operands live, inducing
+// the inter-resource ping-pong the case study measures.
+type NaiveCombo struct {
+	flip bool
+}
+
+// Name implements Policy.
+func (*NaiveCombo) Name() string { return "IFP+ISP" }
+
+// Select implements Policy.
+func (n *NaiveCombo) Select(f *Features) isa.Resource {
+	if !f.Supported[isa.ResIFP] {
+		return isa.ResISP
+	}
+	n.flip = !n.flip
+	if n.flip {
+		return isa.ResIFP
+	}
+	return isa.ResISP
+}
+
+// Ablated is Conduit with selected cost-function terms removed; the
+// ablation benches quantify each term's contribution.
+type Ablated struct {
+	// DropQueue removes the resource-queueing-delay term.
+	DropQueue bool
+	// DropDep removes the data-dependence-delay term.
+	DropDep bool
+	// DropMove removes the data-movement-latency term.
+	DropMove bool
+}
+
+// Name implements Policy.
+func (a Ablated) Name() string {
+	n := "Conduit"
+	if a.DropQueue {
+		n += "-noqueue"
+	}
+	if a.DropDep {
+		n += "-nodep"
+	}
+	if a.DropMove {
+		n += "-nomove"
+	}
+	return n
+}
+
+// Select implements Policy.
+func (a Ablated) Select(f *Features) isa.Resource {
+	return argminOver(f, func(r isa.Resource) sim.Time {
+		var wait sim.Time
+		if !a.DropDep {
+			wait = f.DepDelay
+		}
+		if !a.DropQueue && f.QueueDelay[r] > wait {
+			wait = f.QueueDelay[r]
+		}
+		total := f.CompLatency[r] + wait
+		if !a.DropMove {
+			total += f.MoveLatency[r] + f.ResultMove[r]
+		}
+		return total
+	})
+}

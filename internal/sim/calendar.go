@@ -1,0 +1,153 @@
+package sim
+
+import "fmt"
+
+// Calendar models a serial resource — a flash channel bus, a DRAM bank, a
+// controller core, an execution queue — as a "busy until" horizon. Work
+// reserved on the calendar executes strictly in FIFO order, which matches
+// the per-resource execution queues in the simulated SSD (§4.3.2 of the
+// paper: one dedicated execution queue per computation resource).
+//
+// Reserving d units of work at time now yields start = max(now, horizon)
+// and pushes the horizon to start+d. The difference horizon-now is exactly
+// the paper's resource queueing delay (delay_queue, Table 1), so offloading
+// policies read it directly.
+type Calendar struct {
+	name    string
+	horizon Time
+	busy    Time // total busy time ever reserved, for utilization accounting
+}
+
+// NewCalendar returns an idle calendar. The name appears in diagnostics.
+func NewCalendar(name string) *Calendar {
+	return &Calendar{name: name}
+}
+
+// Name reports the resource name.
+func (c *Calendar) Name() string { return c.name }
+
+// Horizon reports the time at which the resource becomes free.
+func (c *Calendar) Horizon() Time { return c.horizon }
+
+// QueueDelay reports how long work arriving at time now would wait before
+// starting: max(0, horizon-now).
+func (c *Calendar) QueueDelay(now Time) Time {
+	if c.horizon > now {
+		return c.horizon - now
+	}
+	return 0
+}
+
+// Reserve books d units of serial work arriving at time now and returns the
+// interval [start, end) it executes in. The earliest permitted start may be
+// constrained further with notBefore (e.g. operand availability); pass now
+// when there is no extra constraint.
+//
+// The resource is work-conserving: a reservation consumes d units of the
+// resource's capacity from its arrival, but waiting for notBefore (operand
+// availability) happens in a reservation buffer and does not block the
+// resource — later independent work proceeds. This matches the paper's
+// per-resource execution queues, whose dependence delays are tracked
+// separately from queueing delays precisely because they overlap (Eqn. 1).
+func (c *Calendar) Reserve(now, notBefore, d Time) (start, end Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: calendar %s: negative duration %v", c.name, d))
+	}
+	slot := now
+	if c.horizon > slot {
+		slot = c.horizon
+	}
+	c.horizon = slot + d
+	start = slot
+	if notBefore > start {
+		start = notBefore
+	}
+	end = start + d
+	c.busy += d
+	return start, end
+}
+
+// BusyTime reports the cumulative busy time reserved on the resource.
+func (c *Calendar) BusyTime() Time { return c.busy }
+
+// Utilization reports busy time divided by elapsed time (0 when now is 0).
+// Bandwidth-based offloading policies use this as their load signal.
+func (c *Calendar) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	u := float64(c.busy) / float64(now)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset clears the calendar back to idle at time zero.
+func (c *Calendar) Reset() {
+	c.horizon = 0
+	c.busy = 0
+}
+
+// Group is a pool of identical parallel resources (e.g. the dies behind one
+// channel, the banks of a DRAM rank) with FIFO selection of the earliest
+// available member.
+type Group struct {
+	name    string
+	members []*Calendar
+}
+
+// NewGroup creates a pool of n identical calendars.
+func NewGroup(name string, n int) *Group {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: group %s must have at least one member, got %d", name, n))
+	}
+	g := &Group{name: name}
+	for i := 0; i < n; i++ {
+		g.members = append(g.members, NewCalendar(fmt.Sprintf("%s[%d]", name, i)))
+	}
+	return g
+}
+
+// Size reports the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Member returns the i'th member calendar.
+func (g *Group) Member(i int) *Calendar { return g.members[i] }
+
+// Earliest returns the member with the smallest horizon.
+func (g *Group) Earliest() *Calendar {
+	best := g.members[0]
+	for _, m := range g.members[1:] {
+		if m.horizon < best.horizon {
+			best = m
+		}
+	}
+	return best
+}
+
+// QueueDelay reports the queueing delay of the least-loaded member.
+func (g *Group) QueueDelay(now Time) Time {
+	return g.Earliest().QueueDelay(now)
+}
+
+// Reserve books d units of work on the least-loaded member.
+func (g *Group) Reserve(now, notBefore, d Time) (start, end Time) {
+	return g.Earliest().Reserve(now, notBefore, d)
+}
+
+// Utilization reports the mean utilization across members.
+func (g *Group) Utilization(now Time) float64 {
+	var sum float64
+	for _, m := range g.members {
+		sum += m.Utilization(now)
+	}
+	return sum / float64(len(g.members))
+}
+
+// Reset clears every member.
+func (g *Group) Reset() {
+	for _, m := range g.members {
+		m.Reset()
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim provides the discrete-event simulation core used by every
+// timed model in the Conduit reproduction: a virtual clock, an event queue,
+// and resource calendars that capture queueing delay on serial resources
+// (flash channels, DRAM banks and buses, controller cores).
+//
+// The engine is deliberately single-threaded and deterministic: two runs
+// with the same inputs produce identical timelines, which the experiment
+// harness and the tests rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds.
+//
+// Nanosecond granularity covers the full dynamic range of the simulated
+// device: the fastest modeled operation is a 20 ns in-flash AND and the
+// slowest is a 3.5 ms block erase.
+type Time int64
+
+// Common durations, as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time with an adaptive unit, e.g. "22.5µs".
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	steps  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Steps reports the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a modelling bug, never a recoverable condition.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t stay pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Advance moves the clock forward by d without executing events. It is used
+// by sequential firmware models (e.g. the offloader loop) that consume time
+// outside the event queue. Pending events timestamped inside the skipped
+// window are still executed in order.
+func (e *Engine) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %v", d))
+	}
+	e.RunUntil(e.now + d)
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested schedule produced %v", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(20, func() { ran++ })
+	e.Schedule(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineAdvanceExecutesInterveningEvents(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(7, func() { ran = true })
+	e.Advance(10)
+	if !ran {
+		t.Fatal("Advance skipped an intervening event")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{20, "20ns"},
+		{22500, "22.50µs"},
+		{3500 * Microsecond, "3.500ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestCalendarQueueing(t *testing.T) {
+	c := NewCalendar("bus")
+	s, e := c.Reserve(0, 0, 100)
+	if s != 0 || e != 100 {
+		t.Fatalf("first reserve = [%v,%v), want [0,100)", s, e)
+	}
+	// Work arriving while busy queues behind.
+	s, e = c.Reserve(50, 50, 100)
+	if s != 100 || e != 200 {
+		t.Fatalf("queued reserve = [%v,%v), want [100,200)", s, e)
+	}
+	if d := c.QueueDelay(150); d != 50 {
+		t.Fatalf("QueueDelay(150) = %v, want 50", d)
+	}
+	// Work arriving after the horizon starts immediately.
+	s, e = c.Reserve(500, 500, 10)
+	if s != 500 || e != 510 {
+		t.Fatalf("idle reserve = [%v,%v), want [500,510)", s, e)
+	}
+}
+
+func TestCalendarNotBeforeConstraint(t *testing.T) {
+	c := NewCalendar("bank")
+	s, _ := c.Reserve(0, 42, 10)
+	if s != 42 {
+		t.Fatalf("start = %v, want 42 (operand availability)", s)
+	}
+}
+
+func TestCalendarUtilization(t *testing.T) {
+	c := NewCalendar("core")
+	c.Reserve(0, 0, 250)
+	if u := c.Utilization(1000); u != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+	if u := c.Utilization(0); u != 0 {
+		t.Fatalf("utilization at t=0 = %v, want 0", u)
+	}
+}
+
+func TestGroupPicksEarliestMember(t *testing.T) {
+	g := NewGroup("die", 4)
+	// Load members unevenly.
+	g.Member(0).Reserve(0, 0, 100)
+	g.Member(1).Reserve(0, 0, 50)
+	g.Member(2).Reserve(0, 0, 75)
+	// Member 3 is idle, so queue delay is 0 and a new reservation lands there.
+	if d := g.QueueDelay(0); d != 0 {
+		t.Fatalf("group queue delay = %v, want 0 while a member is idle", d)
+	}
+	s, _ := g.Reserve(10, 10, 5)
+	if s != 10 {
+		t.Fatalf("group reserve start = %v, want 10 (idle member)", s)
+	}
+	// All members now busy at t=0: delay is the smallest horizon (15).
+	if d := g.QueueDelay(0); d != 15 {
+		t.Fatalf("group queue delay = %v, want 15 once all members are busy", d)
+	}
+}
+
+// Property: a calendar never books overlapping intervals, and intervals are
+// handed out in non-decreasing start order for non-decreasing arrivals.
+func TestCalendarNoOverlapProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		c := NewCalendar("p")
+		var now, lastEnd Time
+		for _, d := range durs {
+			now += Time(d % 64) // arrivals move forward
+			s, e := c.Reserve(now, now, Time(d%512))
+			if s < lastEnd || e < s {
+				return false
+			}
+			lastEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+// Package ssd assembles the simulated drive and implements Conduit's
+// runtime half (§4.3.2): the SSD offloader that collects the cost-function
+// features for each vectorized instruction, asks a policy for the target
+// computation resource, transforms the instruction into that resource's
+// native ISA, moves operands as the data-mapping rules of §4.4 require, and
+// dispatches the work onto the resource's execution queue.
+//
+// The device is functional as well as timed: running a program produces
+// both a timeline (per-instruction latencies, total runtime, energy) and
+// the actual computed bytes, which tests check against the compiler's
+// scalar reference interpreter.
+package ssd
+
+import (
+	"fmt"
+
+	"conduit/internal/coherence"
+	"conduit/internal/config"
+	"conduit/internal/cores"
+	"conduit/internal/dram"
+	"conduit/internal/energy"
+	"conduit/internal/ftl"
+	"conduit/internal/isa"
+	"conduit/internal/nand"
+	"conduit/internal/sim"
+	"conduit/internal/stats"
+)
+
+// Mode is the drive's operating mode (§4.4, host-SSD communication).
+type Mode uint8
+
+// Operating modes.
+const (
+	// ModeIO serves regular host I/O; computation dispatch is refused.
+	ModeIO Mode = iota
+	// ModeComputation dedicates all resources to NDP; host I/O is
+	// suspended until the host switches the drive back.
+	ModeComputation
+)
+
+// Device is the simulated Conduit-capable SSD.
+type Device struct {
+	Cfg   *config.Config
+	En    *energy.Account
+	Flash *nand.Array
+	DRAM  *dram.Module
+	Core  *cores.Core
+	FTL   *ftl.FTL
+	Dir   *coherence.Directory
+
+	mode  Mode
+	prog  *isa.Program
+	table *isa.TranslationTable
+
+	// DRAM slot management. A fraction of the DRAM is reserved for FTL
+	// metadata (the mapping cache); the rest caches/holds logical pages.
+	dramSlot  map[isa.PageID]int
+	slotOwner []isa.PageID // slot -> lpn (NoPage when free)
+	slotClock []int64      // LRU stamps
+	clock     int64
+
+	// Plane page-buffer tags: which logical page each plane buffer holds
+	// (NoPage when invalid/untracked).
+	bufferTag []isa.PageID
+
+	// Per-page availability time of the latest version.
+	pageReady []sim.Time
+
+	// Liveness, from compiler metadata: accesses[p] is the ordered list
+	// of instruction indices touching page p, with reads and writes
+	// distinguished. A page version is dead once its next access is a
+	// write (the value can never be read again); output pages stay live
+	// at end of program (the host may read them back).
+	accesses map[isa.PageID][]access
+	output   []bool
+
+	firmware sim.Time // in-order decode front of the offloader pipeline
+
+	// offloadCores models the controller cores that run feature
+	// collection and instruction transformation (the cores not used for
+	// computation or FTL work, §4.3.2 footnote 3).
+	offloadCores *sim.Group
+
+	// ifpCursor rotates the target plane for IFP work whose operands are
+	// nowhere in flash, spreading latch-loaded operations across dies.
+	ifpCursor int
+
+	// curInst is the instruction currently being dispatched (liveness
+	// queries during eviction).
+	curInst int
+
+	// Fault injection: instruction ID -> remaining failures to inject.
+	faults map[int]int
+
+	// Measurement.
+	decisions  []Decision
+	instLat    *stats.Reservoir
+	counters   *stats.Counters
+	baseline   map[string]int64 // counter values at measurement reset
+	loadedOnce bool
+}
+
+// access is one reference to a page in program order.
+type access struct {
+	idx  int32
+	read bool
+}
+
+// Decision records one offloading decision for Figs. 9 and 10.
+type Decision struct {
+	InstID   int
+	Op       isa.Op
+	Resource isa.Resource
+	Issue    sim.Time
+	Done     sim.Time
+}
+
+// New builds a device for cfg.
+func New(cfg *config.Config) *Device {
+	en := energy.NewAccount()
+	arr := nand.NewArray(&cfg.SSD, en)
+	d := &Device{
+		Cfg:   cfg,
+		En:    en,
+		Flash: arr,
+		DRAM:  dram.NewModule(&cfg.SSD, en),
+		Core:  cores.New(&cfg.SSD, en),
+		FTL:   ftl.New(&cfg.SSD, arr),
+		table: isa.BuildTranslationTable(),
+
+		dramSlot:  make(map[isa.PageID]int),
+		bufferTag: make([]isa.PageID, cfg.SSD.Channels*cfg.SSD.DiesPerChannel*cfg.SSD.PlanesPerDie),
+		faults:    make(map[int]int),
+		instLat:   stats.NewReservoir(),
+		counters:  stats.NewCounters(),
+	}
+	for i := range d.bufferTag {
+		d.bufferTag[i] = isa.NoPage
+	}
+	offCores := cfg.SSD.Cores - 2 // one compute core, one FTL/host core
+	if offCores < 1 {
+		offCores = 1
+	}
+	d.offloadCores = sim.NewGroup("offload-core", offCores)
+	// Reserve 1/8 of DRAM slots for FTL metadata (mapping cache et al.).
+	usable := d.DRAM.Capacity() - d.DRAM.Capacity()/8
+	d.slotOwner = make([]isa.PageID, usable)
+	d.slotClock = make([]int64, usable)
+	for i := range d.slotOwner {
+		d.slotOwner[i] = isa.NoPage
+	}
+	return d
+}
+
+// Mode reports the current operating mode.
+func (d *Device) Mode() Mode { return d.mode }
+
+// EnterComputationMode suspends host I/O and dedicates all computation
+// resources to NDP (§4.4).
+func (d *Device) EnterComputationMode() { d.mode = ModeComputation }
+
+// ExitComputationMode resumes regular host I/O service.
+func (d *Device) ExitComputationMode() { d.mode = ModeIO }
+
+// InjectFault makes instruction id fail count times before succeeding
+// (transient-fault handling, §4.4: the scheduler replays the instruction
+// on another resource using the latest data version).
+func (d *Device) InjectFault(id, count int) { d.faults[id] = count }
+
+// LoadProgram installs prog and its input data on the drive. Placement is
+// NDP-aware (§4.4): pages that appear together as operands of IFP-capable
+// instructions are co-located in one physical block of one plane so that
+// multi-wordline operations need no migration; operand groups round-robin
+// across planes to expose die-level parallelism.
+//
+// Loading happens before measurement: timing and energy are reset
+// afterwards, matching the paper's assumption that all application data
+// resides in the SSD when execution starts.
+func (d *Device) LoadProgram(prog *isa.Program, inputs map[isa.PageID][]byte) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	if prog.Pages > d.FTL.Capacity() {
+		return fmt.Errorf("ssd: program needs %d pages, drive has %d", prog.Pages, d.FTL.Capacity())
+	}
+	d.prog = prog
+	d.Dir = coherence.NewDirectory(prog.Pages)
+	d.pageReady = make([]sim.Time, prog.Pages)
+	d.accesses = make(map[isa.PageID][]access)
+	d.output = make([]bool, prog.Pages)
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		for _, s := range in.Srcs {
+			d.accesses[s] = append(d.accesses[s], access{idx: int32(i), read: true})
+		}
+		if in.Dst != isa.NoPage {
+			d.accesses[in.Dst] = append(d.accesses[in.Dst], access{idx: int32(i)})
+		}
+	}
+	if len(prog.OutputPages) == 0 {
+		// No liveness metadata: conservatively keep everything live.
+		for i := range d.output {
+			d.output[i] = true
+		}
+	}
+	for _, p := range prog.OutputPages {
+		d.output[p] = true
+	}
+
+	// Pages read before ever being written behave as zero-filled inputs;
+	// map them so flash reads are defined.
+	effectiveInputs := append([]isa.PageID(nil), prog.InputPages...)
+	inputSet := make(map[isa.PageID]bool, len(prog.InputPages))
+	for _, p := range prog.InputPages {
+		inputSet[p] = true
+	}
+	defined := make(map[isa.PageID]bool)
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		for _, s := range in.Srcs {
+			if !inputSet[s] && !defined[s] {
+				inputSet[s] = true
+				effectiveInputs = append(effectiveInputs, s)
+			}
+		}
+		if in.Dst != isa.NoPage {
+			defined[in.Dst] = true
+		}
+	}
+
+	groups := operandGroups(prog, effectiveInputs, inputSet, d.Cfg.SSD.PagesPerBlock)
+
+	// Write each group contiguously into one block; spread groups across
+	// planes round-robin.
+	var now sim.Time
+	plane := 0
+	planes := d.FTL.Planes()
+	written := make(map[isa.PageID]bool)
+	for _, g := range groups {
+		lpns := make([]ftl.LPN, len(g))
+		data := make([][]byte, len(g))
+		for i, p := range g {
+			lpns[i] = ftl.LPN(p)
+			data[i] = d.inputPage(inputs, p)
+			written[p] = true
+		}
+		done, err := d.FTL.WriteRun(now, lpns, data, plane)
+		if err != nil {
+			return fmt.Errorf("ssd: loading operand group: %w", err)
+		}
+		now = done
+		plane = (plane + 1) % planes
+	}
+	// Remaining input pages go round-robin, one at a time.
+	for _, p := range effectiveInputs {
+		if written[p] {
+			continue
+		}
+		done, err := d.FTL.Write(now, ftl.LPN(p), d.inputPage(inputs, p), plane)
+		if err != nil {
+			return fmt.Errorf("ssd: loading input page %d: %w", p, err)
+		}
+		now = done
+		plane = (plane + 1) % planes
+	}
+
+	d.resetMeasurement()
+	d.loadedOnce = true
+	return nil
+}
+
+func (d *Device) inputPage(inputs map[isa.PageID][]byte, p isa.PageID) []byte {
+	if data, ok := inputs[p]; ok {
+		if len(data) != d.Cfg.SSD.PageSize {
+			panic(fmt.Sprintf("ssd: input page %d has %d bytes, want %d", p, len(data), d.Cfg.SSD.PageSize))
+		}
+		return data
+	}
+	return make([]byte, d.Cfg.SSD.PageSize)
+}
+
+// resetMeasurement zeroes clocks, calendars, energy, and statistics so the
+// measured run starts from a quiescent, loaded device.
+func (d *Device) resetMeasurement() {
+	d.En.Reset()
+	d.firmware = 0
+	d.decisions = d.decisions[:0]
+	d.instLat = stats.NewReservoir()
+	d.counters = stats.NewCounters()
+	for i := range d.pageReady {
+		d.pageReady[i] = 0
+	}
+	for i := 0; i < d.Cfg.SSD.TotalDies(); i++ {
+		d.Flash.DieCalendar(i).Reset()
+	}
+	for c := 0; c < d.Cfg.SSD.Channels; c++ {
+		d.Flash.BusCalendar(c).Reset()
+	}
+	d.DRAM.Bus().Reset()
+	d.DRAM.Units().Reset()
+	d.Core.Calendar().Reset()
+	d.offloadCores.Reset()
+	d.ifpCursor = 0
+	d.baseline = d.rawCounters()
+}
+
+// rawCounters gathers the substrates' cumulative activity counters.
+func (d *Device) rawCounters() map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range d.Flash.Stats() {
+		out["flash."+k] = v
+	}
+	for k, v := range d.DRAM.Stats() {
+		out["dram."+k] = v
+	}
+	for k, v := range d.Core.Stats() {
+		out["core."+k] = v
+	}
+	for k, v := range d.FTL.Stats() {
+		out["ftl."+k] = v
+	}
+	return out
+}
+
+// operandGroups unions the source pages of every IFP-capable instruction
+// and chunks each union-find class to at most maxGroup pages (a physical
+// block). Only input pages participate; temporaries are produced at run
+// time and live wherever their producer leaves them.
+func operandGroups(prog *isa.Program, inputOrder []isa.PageID, inputSet map[isa.PageID]bool, maxGroup int) [][]isa.PageID {
+	parent := make(map[isa.PageID]isa.PageID)
+	size := make(map[isa.PageID]int)
+	var find func(p isa.PageID) isa.PageID
+	find = func(p isa.PageID) isa.PageID {
+		if parent[p] == p {
+			return p
+		}
+		root := find(parent[p])
+		parent[p] = root
+		return root
+	}
+	union := func(a, b isa.PageID) {
+		if _, ok := parent[a]; !ok {
+			parent[a] = a
+			size[a] = 1
+		}
+		if _, ok := parent[b]; !ok {
+			parent[b] = b
+			size[b] = 1
+		}
+		ra, rb := find(a), find(b)
+		// Cap class growth at one physical block: beyond that,
+		// co-location is impossible anyway, and unbounded transitive
+		// closure (e.g. through a shared activation array) would funnel
+		// whole workloads onto a handful of planes.
+		if ra != rb && size[ra]+size[rb] <= maxGroup {
+			parent[rb] = ra
+			size[ra] += size[rb]
+		}
+	}
+	for i := range prog.Insts {
+		in := &prog.Insts[i]
+		if !isa.Supports(isa.ResIFP, in.Op) {
+			continue
+		}
+		// Union sources and destination so chains through temporaries
+		// keep transitively-related input pages together.
+		var prev isa.PageID = isa.NoPage
+		pages := in.Srcs
+		if in.Dst != isa.NoPage {
+			pages = append(append([]isa.PageID(nil), in.Srcs...), in.Dst)
+		}
+		for _, s := range pages {
+			if prev != isa.NoPage {
+				union(prev, s)
+			} else if _, ok := parent[s]; !ok {
+				parent[s] = s
+			}
+			prev = s
+		}
+	}
+	classes := make(map[isa.PageID][]isa.PageID)
+	var roots []isa.PageID
+	// Deterministic order: walk input pages in program order.
+	seen := make(map[isa.PageID]bool)
+	for _, p := range inputOrder {
+		if _, ok := parent[p]; !ok || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r := find(p)
+		if len(classes[r]) == 0 {
+			roots = append(roots, r)
+		}
+		classes[r] = append(classes[r], p)
+	}
+	var groups [][]isa.PageID
+	for _, r := range roots {
+		g := classes[r]
+		for len(g) > maxGroup {
+			groups = append(groups, g[:maxGroup])
+			g = g[maxGroup:]
+		}
+		if len(g) > 1 {
+			groups = append(groups, g)
+		} else if len(g) == 1 {
+			// Singletons gain nothing from co-location; let the
+			// round-robin path place them.
+			continue
+		}
+	}
+	return groups
+}
+
+// PageBytes returns the current (coherence-resolved) contents of logical
+// page p without timing effects — the verification hook tests use to
+// compare against the reference interpreter.
+func (d *Device) PageBytes(p isa.PageID) ([]byte, error) {
+	if d.Dir == nil {
+		return nil, fmt.Errorf("ssd: no program loaded")
+	}
+	switch d.Dir.Owner(int(p)) {
+	case coherence.LocDRAM:
+		slot, ok := d.dramSlot[p]
+		if !ok {
+			return nil, fmt.Errorf("ssd: page %d owned by DRAM but has no slot", p)
+		}
+		return d.DRAM.Data(slot), nil
+	case coherence.LocBuffer:
+		for plane, tag := range d.bufferTag {
+			if tag == p {
+				return d.planeBufferData(plane), nil
+			}
+		}
+		return nil, fmt.Errorf("ssd: page %d owned by a plane buffer but not tagged", p)
+	default:
+		addr, ok := d.FTL.PhysAddr(ftl.LPN(p))
+		if !ok {
+			// Never written and never loaded: logical zero.
+			return make([]byte, d.Cfg.SSD.PageSize), nil
+		}
+		return d.Flash.PageData(addr), nil
+	}
+}
+
+func (d *Device) planeBufferData(plane int) []byte {
+	addr := d.planeAddr(plane)
+	return append([]byte(nil), d.Flash.PlaneBuffer(addr).Data...)
+}
+
+// planeAddr returns an address within the given flat plane index.
+func (d *Device) planeAddr(plane int) nand.Addr {
+	c := &d.Cfg.SSD
+	a := nand.Addr{}
+	a.Plane = plane % c.PlanesPerDie
+	plane /= c.PlanesPerDie
+	a.Die = plane % c.DiesPerChannel
+	a.Channel = plane / c.DiesPerChannel
+	return a
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	Policy string
+	// Elapsed is the end-to-end execution time: from the first dispatch
+	// to the completion of the last instruction.
+	Elapsed sim.Time
+	// InstLatencies holds per-instruction latencies (dispatch to
+	// completion) for tail-latency reporting (Fig. 8).
+	InstLatencies *stats.Reservoir
+	// Decisions is the per-instruction offloading trace (Figs. 9, 10).
+	Decisions []Decision
+	// Energy totals, split per Fig. 7(b).
+	ComputeEnergy  float64
+	MovementEnergy float64
+	// Counters holds substrate activity (senses, bbops, migrations ...).
+	Counters *stats.Counters
+	// OverheadTime is the firmware time spent on feature collection and
+	// instruction transformation (§4.5).
+	OverheadTime sim.Time
+	// Replays counts fault-triggered instruction replays.
+	Replays int64
+}
+
+// Fractions reports the share of instructions offloaded to each resource
+// (Fig. 9).
+func (r *Result) Fractions() [isa.NumResources]float64 {
+	var out [isa.NumResources]float64
+	if len(r.Decisions) == 0 {
+		return out
+	}
+	for _, d := range r.Decisions {
+		out[d.Resource]++
+	}
+	for i := range out {
+		out[i] /= float64(len(r.Decisions))
+	}
+	return out
+}

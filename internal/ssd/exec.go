@@ -1,0 +1,501 @@
+package ssd
+
+import (
+	"fmt"
+
+	"conduit/internal/coherence"
+	"conduit/internal/ftl"
+	"conduit/internal/isa"
+	"conduit/internal/nand"
+	"conduit/internal/sim"
+)
+
+// execute dispatches inst onto resource r at firmware time issue, performs
+// the operand movement the placement rules require, executes functionally,
+// updates coherence state, and returns the completion time.
+func (d *Device) execute(inst *isa.Inst, r isa.Resource, issue sim.Time) (sim.Time, error) {
+	// Operand availability (dependences resolved through page readiness).
+	ready := issue
+	for _, s := range inst.Srcs {
+		if d.pageReady[s] > ready {
+			ready = d.pageReady[s]
+		}
+	}
+	if inst.Dst != isa.NoPage && d.pageReady[inst.Dst] > ready {
+		ready = d.pageReady[inst.Dst]
+	}
+
+	var done sim.Time
+	var err error
+	switch {
+	case inst.Op == isa.OpScalar:
+		done, err = d.Core.ExecScalar(issue, ready, inst.ScalarCycles)
+	case r == isa.ResISP:
+		done, err = d.executeISP(inst, issue, ready)
+	case r == isa.ResPuD:
+		done, err = d.executePuD(inst, issue, ready)
+	case r == isa.ResIFP:
+		done, err = d.executeIFP(inst, issue, ready)
+	default:
+		err = fmt.Errorf("unknown resource %v", r)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if inst.Dst != isa.NoPage {
+		d.pageReady[inst.Dst] = done
+	}
+	return done, nil
+}
+
+// --- shared movement helpers ----------------------------------------------
+
+// ensureInDRAM stages page s into a DRAM slot, returning the slot and the
+// time the copy is usable. Clean copies are reused for free.
+func (d *Device) ensureInDRAM(now, ready sim.Time, s isa.PageID) (int, sim.Time, error) {
+	if slot, ok := d.dramSlot[s]; ok {
+		d.touchSlot(slot)
+		return slot, ready, nil
+	}
+	var data []byte
+	var avail sim.Time
+	switch d.Dir.Owner(int(s)) {
+	case coherence.LocFlash:
+		var err error
+		data, avail, err = d.FTL.Read(now, ready, ftl.LPN(s))
+		if err != nil {
+			return 0, 0, err
+		}
+	case coherence.LocBuffer:
+		plane := d.bufferPlane(s)
+		var err error
+		data, avail, err = d.Flash.ReadBuffer(now, ready, d.planeAddr(plane))
+		if err != nil {
+			return 0, 0, err
+		}
+	default:
+		return 0, 0, fmt.Errorf("ssd: page %d owned by DRAM without a slot", s)
+	}
+	slot, evictDone, err := d.allocSlot(now)
+	if err != nil {
+		return 0, 0, err
+	}
+	if evictDone > avail {
+		avail = evictDone
+	}
+	done := d.DRAM.Write(now, avail, slot, data)
+	d.dramSlot[s] = slot
+	d.slotOwner[slot] = s
+	d.touchSlot(slot)
+	return slot, done, nil
+}
+
+// allocSlot returns a free DRAM slot, evicting the least-recently-used
+// resident page when full. Evicting a dirty (DRAM-owned) page writes it
+// back to flash — the §4.4 eviction synchronization trigger.
+func (d *Device) allocSlot(now sim.Time) (int, sim.Time, error) {
+	for i, owner := range d.slotOwner {
+		if owner == isa.NoPage {
+			return i, now, nil
+		}
+	}
+	victim := 0
+	for i := range d.slotOwner {
+		if d.slotClock[i] < d.slotClock[victim] {
+			victim = i
+		}
+	}
+	page := d.slotOwner[victim]
+	var done sim.Time = now
+	// Dead temporaries are dropped without a write-back: nothing can read
+	// them again (compiler liveness metadata).
+	if d.Dir.Owner(int(page)) == coherence.LocDRAM && !d.deadAfter(page, d.curInst) {
+		data, rdone := d.DRAM.Read(now, now, victim)
+		wdone, err := d.FTL.Write(rdone, ftl.LPN(page), data, -1)
+		if err != nil {
+			return 0, 0, fmt.Errorf("ssd: evicting page %d: %w", page, err)
+		}
+		d.Dir.Sync(int(page), coherence.SyncEviction)
+		if wdone > d.pageReady[page] {
+			d.pageReady[page] = wdone
+		}
+		done = wdone
+	}
+	d.DRAM.Invalidate(victim)
+	delete(d.dramSlot, page)
+	d.slotOwner[victim] = isa.NoPage
+	return victim, done, nil
+}
+
+func (d *Device) touchSlot(slot int) {
+	d.clock++
+	d.slotClock[slot] = d.clock
+}
+
+// claimDstSlot returns a DRAM slot for a destination page, reusing an
+// existing resident copy's slot.
+func (d *Device) claimDstSlot(now sim.Time, dst isa.PageID) (int, sim.Time, error) {
+	if slot, ok := d.dramSlot[dst]; ok {
+		d.touchSlot(slot)
+		return slot, now, nil
+	}
+	slot, done, err := d.allocSlot(now)
+	if err != nil {
+		return 0, 0, err
+	}
+	d.dramSlot[dst] = slot
+	d.slotOwner[slot] = dst
+	d.touchSlot(slot)
+	return slot, done, nil
+}
+
+// markModifiedDRAM records that dst's newest version now lives in DRAM:
+// older flash and latch copies become stale.
+func (d *Device) markModifiedDRAM(dst isa.PageID, done sim.Time) error {
+	if d.Dir.NeedsFlush(int(dst)) {
+		if err := d.flushBeforeWrap(dst); err != nil {
+			return err
+		}
+	}
+	d.Dir.Modify(int(dst), coherence.LocDRAM)
+	d.clearBufferTag(dst)
+	d.FTL.Invalidate(ftl.LPN(dst))
+	return nil
+}
+
+// flushBeforeWrap commits a page whose version counter reached the wrap
+// limit (§4.4 footnote 4). Timing is folded into the next operation via
+// pageReady.
+func (d *Device) flushBeforeWrap(p isa.PageID) error {
+	switch d.Dir.Owner(int(p)) {
+	case coherence.LocDRAM:
+		slot := d.dramSlot[p]
+		data, rdone := d.DRAM.Read(d.firmware, d.pageReady[p], slot)
+		done, err := d.FTL.Write(rdone, ftl.LPN(p), data, -1)
+		if err != nil {
+			return err
+		}
+		d.pageReady[p] = done
+	case coherence.LocBuffer:
+		plane := d.bufferPlane(p)
+		done, err := d.FTL.WriteBuffered(d.firmware, d.pageReady[p], ftl.LPN(p), plane)
+		if err != nil {
+			return err
+		}
+		d.bufferTag[plane] = isa.NoPage
+		d.pageReady[p] = done
+	}
+	d.Dir.Sync(int(p), coherence.SyncEviction)
+	return nil
+}
+
+func (d *Device) clearBufferTag(p isa.PageID) {
+	for plane, tag := range d.bufferTag {
+		if tag == p {
+			d.bufferTag[plane] = isa.NoPage
+		}
+	}
+}
+
+// --- ISP --------------------------------------------------------------------
+
+func (d *Device) executeISP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, error) {
+	srcs := make([][]byte, 0, len(inst.Srcs))
+	for _, s := range inst.Srcs {
+		slot, avail, err := d.ensureInDRAM(issue, d.pageReady[s], s)
+		if err != nil {
+			return 0, err
+		}
+		// The core streams the operand over the DRAM bus.
+		data, rdone := d.DRAM.Read(issue, avail, slot)
+		srcs = append(srcs, data)
+		if rdone > ready {
+			ready = rdone
+		}
+	}
+	var out []byte
+	var done sim.Time
+	var err error
+	if inst.Meta.Unvectorized {
+		out, done, err = d.Core.ExecUnvectorized(issue, ready, inst.Op, srcs, inst.Elem, inst.UseImm, inst.Imm)
+	} else {
+		// The in-order core is occupied while streaming operands in and
+		// the result out over the DRAM bus.
+		stream := sim.Time(len(srcs)+1) * d.Cfg.SSD.DRAMTransferTime(d.Cfg.SSD.PageSize)
+		out, done, err = d.Core.ExecStreaming(issue, ready, inst.Op, srcs, inst.Elem, inst.UseImm, inst.Imm, stream)
+	}
+	if err != nil {
+		return 0, err
+	}
+	slot, evictDone, err := d.claimDstSlot(issue, inst.Dst)
+	if err != nil {
+		return 0, err
+	}
+	if evictDone > done {
+		done = evictDone
+	}
+	done = d.DRAM.Write(issue, done, slot, out)
+	if err := d.markModifiedDRAM(inst.Dst, done); err != nil {
+		return 0, err
+	}
+	return done, nil
+}
+
+// --- PuD-SSD -----------------------------------------------------------------
+
+func (d *Device) executePuD(inst *isa.Inst, issue, ready sim.Time) (sim.Time, error) {
+	op, ok := pudOp(inst.Op)
+	if !ok {
+		return 0, fmt.Errorf("%v has no PuD mapping", inst.Op)
+	}
+	arity := op.Arity()
+	slots := make([]int, 0, arity)
+	for _, s := range inst.Srcs {
+		slot, avail, err := d.ensureInDRAM(issue, d.pageReady[s], s)
+		if err != nil {
+			return 0, err
+		}
+		slots = append(slots, slot)
+		if avail > ready {
+			ready = avail
+		}
+	}
+	useImm := inst.UseImm
+	if inst.Op == isa.OpBroadcast {
+		useImm = true
+	}
+	for len(slots) < arity {
+		slots = append(slots, -1) // immediate placeholder
+	}
+	dstSlot, evictDone, err := d.claimDstSlot(issue, inst.Dst)
+	if err != nil {
+		return 0, err
+	}
+	if evictDone > ready {
+		ready = evictDone
+	}
+	// A fresh destination slot must not alias an unpopulated source; the
+	// Exec call writes dst last, so aliasing with sources is safe.
+	done, err := d.DRAM.Exec(issue, ready, op, dstSlot, slots, inst.Elem, useImm, inst.Imm)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.markModifiedDRAM(inst.Dst, done); err != nil {
+		return 0, err
+	}
+	return done, nil
+}
+
+// --- IFP ---------------------------------------------------------------------
+
+// executeIFP runs inst in the flash arrays. Operand staging follows the
+// latch model of the IFP substrates: flash pages in the target plane are
+// sensed (one multi-wordline sense when co-located); everything else —
+// DRAM-resident pages, pages latched or stored in other planes — is
+// fetched and DMA-loaded into a spare page-buffer latch over the channel.
+// No flash program is ever needed to stage an operand.
+func (d *Device) executeIFP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, error) {
+	plan := d.planIFP(inst)
+	plane := plan.plane
+	planeAddr := d.planeAddr(plane)
+	geo := d.Flash.Geometry()
+
+	operands := make([]nand.Operand, 0, len(inst.Srcs))
+	usedBuffer := false
+	bufferOperand := isa.NoPage
+	for _, s := range inst.Srcs {
+		owner := d.Dir.Owner(int(s))
+		if owner == coherence.LocFlash {
+			addr, ok := d.FTL.PhysAddr(ftl.LPN(s))
+			if !ok {
+				return 0, fmt.Errorf("flash operand %d unmapped", s)
+			}
+			if geo.PlaneIndex(addr) == plane {
+				operands = append(operands, nand.Operand{Addr: addr})
+				continue
+			}
+			// Cross-plane: read out of the source plane and latch-load
+			// into the target (channel traffic on both sides).
+			data, rdone := d.Flash.Read(issue, d.pageReady[s], addr)
+			ldone := d.latchTransferIn(issue, rdone, plane)
+			if ldone > ready {
+				ready = ldone
+			}
+			operands = append(operands, nand.Operand{Addr: planeAddr, Data: data})
+			continue
+		}
+		if owner == coherence.LocBuffer {
+			p := d.bufferPlane(s)
+			if p == plane && d.bufferTag[p] == s && !usedBuffer {
+				// The operation will overwrite the latches, destroying
+				// this operand's only copy; preserve it in DRAM first —
+				// unless the value is dead after this instruction.
+				if _, cached := d.dramSlot[s]; !cached && !d.deadAfter(s, inst.ID) {
+					data, rdone, err := d.Flash.ReadBuffer(issue, d.pageReady[s], planeAddr)
+					if err != nil {
+						return 0, err
+					}
+					slot, edone, err := d.allocSlot(issue)
+					if err != nil {
+						return 0, err
+					}
+					wdone := d.DRAM.Write(issue, maxT(rdone, edone), slot, data)
+					d.dramSlot[s] = slot
+					d.slotOwner[slot] = s
+					d.touchSlot(slot)
+					if wdone > ready {
+						ready = wdone
+					}
+				}
+				operands = append(operands, nand.Operand{Addr: planeAddr, InBuffer: true})
+				usedBuffer = true
+				bufferOperand = s
+				continue
+			}
+			// Latched in another plane: read it out and latch-load here.
+			data, rdone, err := d.Flash.ReadBuffer(issue, d.pageReady[s], d.planeAddr(p))
+			if err != nil {
+				return 0, err
+			}
+			ldone := d.latchTransferIn(issue, rdone, plane)
+			if ldone > ready {
+				ready = ldone
+			}
+			operands = append(operands, nand.Operand{Addr: planeAddr, Data: data})
+			continue
+		}
+		// DRAM-resident: stream over the DRAM bus and latch-load.
+		slot, ok := d.dramSlot[s]
+		if !ok {
+			return 0, fmt.Errorf("page %d owned by DRAM without a slot", s)
+		}
+		data, rdone := d.DRAM.Read(issue, d.pageReady[s], slot)
+		ldone := d.latchTransferIn(issue, rdone, plane)
+		if ldone > ready {
+			ready = ldone
+		}
+		operands = append(operands, nand.Operand{Addr: planeAddr, Data: data})
+	}
+
+	// The target plane's buffer may hold another live page (that is not
+	// our latched operand); save it to DRAM before the operation
+	// overwrites the latches. A copy-out over the channel is far cheaper
+	// than a flash program and keeps coherence lazy.
+	if tag := d.bufferTag[plane]; tag != isa.NoPage && tag != inst.Dst && tag != bufferOperand &&
+		d.Dir.Owner(int(tag)) == coherence.LocBuffer && !d.deadAfter(tag, inst.ID-1) {
+		if _, cached := d.dramSlot[tag]; !cached {
+			data, rdone, err := d.Flash.ReadBuffer(issue, maxT(ready, d.pageReady[tag]), planeAddr)
+			if err != nil {
+				return 0, err
+			}
+			slot, edone, err := d.allocSlot(issue)
+			if err != nil {
+				return 0, err
+			}
+			wdone := d.DRAM.Write(issue, maxT(rdone, edone), slot, data)
+			d.dramSlot[tag] = slot
+			d.slotOwner[slot] = tag
+			d.touchSlot(slot)
+			d.pageReady[tag] = wdone
+			if wdone > ready {
+				ready = wdone
+			}
+		}
+		d.Dir.Relocate(int(tag), coherence.LocDRAM)
+		d.bufferTag[plane] = isa.NoPage
+	} else if tag := d.bufferTag[plane]; tag != isa.NoPage && tag != inst.Dst && tag != bufferOperand {
+		// Dead temporary: drop it.
+		d.bufferTag[plane] = isa.NoPage
+	}
+
+	var done sim.Time
+	var err error
+	if bop, ok := ifpBitOp(inst.Op); ok {
+		done, err = d.Flash.Bitwise(issue, ready, bop, operands)
+	} else if aop, ok := ifpArithOp(inst.Op); ok {
+		x := operands[0]
+		y := nand.Operand{Addr: planeAddr}
+		if len(operands) > 1 {
+			y = operands[1]
+		}
+		done, err = d.Flash.Arith(issue, ready, aop, x, y, inst.Elem, uint(inst.Imm))
+	} else {
+		err = fmt.Errorf("%v has no IFP mapping", inst.Op)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	// The consumed latch operand's latest version now lives in its DRAM
+	// copy (saved above).
+	if bufferOperand != isa.NoPage && bufferOperand != inst.Dst {
+		d.Dir.Relocate(int(bufferOperand), coherence.LocDRAM)
+	}
+
+	// The result lives in the plane buffer under lazy coherence.
+	if d.Dir.NeedsFlush(int(inst.Dst)) {
+		if err := d.flushBeforeWrap(inst.Dst); err != nil {
+			return 0, err
+		}
+	}
+	d.clearBufferTag(inst.Dst)
+	if slot, ok := d.dramSlot[inst.Dst]; ok {
+		d.DRAM.Invalidate(slot)
+		d.slotOwner[slot] = isa.NoPage
+		delete(d.dramSlot, inst.Dst)
+	}
+	d.FTL.Invalidate(ftl.LPN(inst.Dst))
+	d.Dir.Modify(int(inst.Dst), coherence.LocBuffer)
+	d.bufferTag[plane] = inst.Dst
+	return done, nil
+}
+
+// deadAfter reports whether page p's current value is unneeded after
+// instruction id: its next access (if any) overwrites it before any read,
+// or it is a compiler temporary with no further references. The runtime
+// skips write-backs of dead values — the lazy coherence protocol only
+// preserves data someone can still request.
+func (d *Device) deadAfter(p isa.PageID, id int) bool {
+	evs := d.accesses[p]
+	// Binary search the first event strictly after id.
+	lo, hi := 0, len(evs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(evs[mid].idx) <= id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for _, ev := range evs[lo:] {
+		if ev.read {
+			return false // someone still reads this value
+		}
+		if int(ev.idx) > id {
+			return true // overwritten before any read
+		}
+	}
+	// No further access: dead unless the host may read it back.
+	return !d.output[p]
+}
+
+// latchTransferIn books the channel transfer that carries latch-load data
+// into the target plane's die and charges its movement energy. The
+// page-buffer DMA itself is timed inside the nand primitives.
+func (d *Device) latchTransferIn(now, ready sim.Time, plane int) sim.Time {
+	addr := d.planeAddr(plane)
+	_, done := d.Flash.BusCalendar(addr.Channel).Reserve(now, ready,
+		d.Cfg.SSD.ChannelTransferTime(d.Cfg.SSD.PageSize))
+	d.En.Move("flash-channel", d.Cfg.SSD.EDMAPerChannel)
+	return done
+}
+
+func maxT(ts ...sim.Time) sim.Time {
+	var m sim.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,88 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+
+	"conduit/internal/coherence"
+	"conduit/internal/config"
+	"conduit/internal/isa"
+	"conduit/internal/offload"
+)
+
+func TestPowerCycleDurability(t *testing.T) {
+	// Run the mixed program (results spread across DRAM slots and plane
+	// buffers), power-cycle, and verify every output survives on flash.
+	prog, inputs := mixProgram(t, 1)
+	d := newLoadedDevice(t, prog, inputs)
+	res, err := d.Run(offload.Conduit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture pre-cycle contents.
+	want := map[int][]byte{}
+	for i := range prog.Insts {
+		dst := prog.Insts[i].Dst
+		if dst < 0 {
+			continue
+		}
+		b, err := d.PageBytes(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[int(dst)] = b
+	}
+
+	done, err := d.PowerCycle(res.Elapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < res.Elapsed {
+		t.Fatal("power-cycle flush cannot finish before it starts")
+	}
+	if d.Mode() != ModeIO {
+		t.Fatal("drive must come back in I/O mode")
+	}
+
+	// Everything is flash-resident and clean now.
+	for p, w := range want {
+		e := d.Dir.Entry(p)
+		if e.Owner != coherence.LocFlash || e.State != coherence.Clean || e.Version != 0 {
+			t.Fatalf("page %d not committed after power cycle: %+v", p, e)
+		}
+		got, err := d.PageBytes(isa.PageID(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("page %d lost data across the power cycle", p)
+		}
+	}
+	if d.Dir.SyncCount(coherence.SyncPowerCycle) == 0 {
+		t.Fatal("power-cycle syncs must be recorded")
+	}
+}
+
+func TestPowerCycleIdempotentOnCleanDrive(t *testing.T) {
+	prog, inputs := mixProgram(t, 1)
+	d := newLoadedDevice(t, prog, inputs)
+	if _, err := d.PowerCycle(0); err != nil {
+		t.Fatal(err)
+	}
+	// A second cycle has nothing dirty to flush.
+	before := d.FTL.Stats()["migrations"]
+	if _, err := d.PowerCycle(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.FTL.Stats()["migrations"] != before {
+		t.Fatal("clean power cycle must not move data")
+	}
+}
+
+func TestPowerCycleWithoutProgram(t *testing.T) {
+	cfg := config.TestScale()
+	d := New(&cfg)
+	if _, err := d.PowerCycle(0); err != nil {
+		t.Fatal("power cycle of an empty drive must be a no-op")
+	}
+}

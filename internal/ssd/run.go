@@ -1,0 +1,455 @@
+package ssd
+
+import (
+	"fmt"
+
+	"conduit/internal/coherence"
+	"conduit/internal/cores"
+	"conduit/internal/dram"
+	"conduit/internal/ftl"
+	"conduit/internal/isa"
+	"conduit/internal/nand"
+	"conduit/internal/offload"
+	"conduit/internal/sim"
+	"conduit/internal/stats"
+)
+
+// pudOp maps a vector IR operation onto the PuD-SSD native set.
+func pudOp(op isa.Op) (dram.Op, bool) {
+	switch op {
+	case isa.OpAnd:
+		return dram.OpAnd, true
+	case isa.OpOr:
+		return dram.OpOr, true
+	case isa.OpNot:
+		return dram.OpNot, true
+	case isa.OpXor:
+		return dram.OpXor, true
+	case isa.OpNand:
+		return dram.OpNand, true
+	case isa.OpNor:
+		return dram.OpNor, true
+	case isa.OpAdd:
+		return dram.OpAdd, true
+	case isa.OpSub:
+		return dram.OpSub, true
+	case isa.OpMul:
+		return dram.OpMul, true
+	case isa.OpLT:
+		return dram.OpLT, true
+	case isa.OpGT:
+		return dram.OpGT, true
+	case isa.OpEQ:
+		return dram.OpEQ, true
+	case isa.OpMin:
+		return dram.OpMin, true
+	case isa.OpMax:
+		return dram.OpMax, true
+	case isa.OpSelect:
+		return dram.OpSelect, true
+	case isa.OpCopy, isa.OpBroadcast:
+		return dram.OpCopy, true
+	case isa.OpShuffle:
+		return dram.OpShuffle, true
+	case isa.OpShl:
+		return dram.OpShl, true
+	case isa.OpShr:
+		return dram.OpShr, true
+	default:
+		return 0, false
+	}
+}
+
+// ifpBitOp maps a vector IR operation onto the MWS/latch bitwise set.
+func ifpBitOp(op isa.Op) (nand.BitOp, bool) {
+	switch op {
+	case isa.OpAnd:
+		return nand.BitAnd, true
+	case isa.OpOr:
+		return nand.BitOr, true
+	case isa.OpNand:
+		return nand.BitNand, true
+	case isa.OpNor:
+		return nand.BitNor, true
+	case isa.OpXor:
+		return nand.BitXor, true
+	case isa.OpNot:
+		return nand.BitNot, true
+	default:
+		return 0, false
+	}
+}
+
+// ifpArithOp maps a vector IR operation onto the shift-and-add set.
+func ifpArithOp(op isa.Op) (nand.ArithOp, bool) {
+	switch op {
+	case isa.OpAdd:
+		return nand.ArithAdd, true
+	case isa.OpMul:
+		return nand.ArithMul, true
+	case isa.OpShl:
+		return nand.ArithShl, true
+	case isa.OpShr:
+		return nand.ArithShr, true
+	default:
+		return 0, false
+	}
+}
+
+// ifpSupported reports whether the device can run inst in flash: the IR op
+// must map to an IFP primitive, and immediates only make sense as shift
+// amounts (materializing a broadcast page in NAND is never worth it).
+func ifpSupported(inst *isa.Inst) bool {
+	if !isa.Supports(isa.ResIFP, inst.Op) {
+		return false
+	}
+	if inst.UseImm && inst.Op != isa.OpShl && inst.Op != isa.OpShr {
+		return false
+	}
+	return true
+}
+
+// Run executes the loaded program under policy, returning the measured
+// result. The device must be in computation mode. Each Run consumes the
+// loaded data (execution mutates pages); reload before running again.
+func (d *Device) Run(policy offload.Policy) (*Result, error) {
+	if d.prog == nil {
+		return nil, fmt.Errorf("ssd: no program loaded")
+	}
+	if d.mode != ModeComputation {
+		return nil, fmt.Errorf("ssd: device is in I/O mode; enter computation mode first (§4.4)")
+	}
+	var overhead sim.Time
+	var elapsed sim.Time
+	var replays int64
+
+	for i := range d.prog.Insts {
+		inst := &d.prog.Insts[i]
+		d.curInst = i
+
+		// Feature collection (§4.5): L2P lookups per operand, dependence
+		// and queue tracking, movement and computation table lookups, and
+		// the transformation-table lookup. The work pipelines across the
+		// controller cores reserved for offloading (§4.3.2 footnote 3),
+		// so the per-instruction latency below is not a serial bottleneck.
+		var collect sim.Time
+		for _, s := range inst.Srcs {
+			if d.Dir.Owner(int(s)) == coherence.LocFlash {
+				_, lat, err := d.FTL.Lookup(ftl.LPN(s))
+				if err != nil {
+					return nil, fmt.Errorf("ssd: inst %d operand %d: %w", i, s, err)
+				}
+				collect += lat
+			} else {
+				collect += d.Cfg.SSD.TL2PLookupDRAM
+			}
+		}
+		collect += d.Cfg.SSD.TDepTrack + d.Cfg.SSD.TQueueTrack +
+			d.Cfg.SSD.TDMLookup + d.Cfg.SSD.TCompLookup + d.Cfg.SSD.TTranslate
+		// Each instruction's collection occupies the next free offload
+		// core (FIFO); decode of instruction i+1 overlaps i's — only
+		// same-core occupancy serializes.
+		_, decoded := d.offloadCores.Reserve(0, 0, collect)
+		if decoded > d.firmware {
+			d.firmware = decoded
+		}
+		overhead += collect
+
+		f := d.features(inst)
+		choice := policy.Select(f)
+		if !f.Supported[choice] {
+			return nil, fmt.Errorf("ssd: policy %s chose %v for unsupported %v", policy.Name(), choice, inst.Op)
+		}
+		if _, ok := d.table.Lookup(choice, inst.Op); !ok && inst.Op != isa.OpScalar {
+			return nil, fmt.Errorf("ssd: no translation for %v on %v", inst.Op, choice)
+		}
+
+		issue := d.firmware
+		// Transient-fault handling (§4.4): a failed attempt burns the
+		// expected execution time, then the scheduler replays the
+		// instruction on another resource using the latest data version.
+		if n := d.faults[inst.ID]; n > 0 {
+			d.faults[inst.ID] = n - 1
+			replays++
+			f.Supported[choice] = false
+			alt := policy.Select(f)
+			if !f.Supported[alt] {
+				alt = isa.ResISP
+			}
+			d.firmware += f.CompLatency[choice] // timeout window
+			choice = alt
+		}
+
+		done, err := d.execute(inst, choice, issue)
+		if err != nil {
+			return nil, fmt.Errorf("ssd: inst %d (%v) on %v: %w", i, inst.Op, choice, err)
+		}
+		d.decisions = append(d.decisions, Decision{
+			InstID: inst.ID, Op: inst.Op, Resource: choice, Issue: issue, Done: done,
+		})
+		d.instLat.Add(done - issue)
+		if done > elapsed {
+			elapsed = done
+		}
+	}
+
+	res := &Result{
+		Policy:         policy.Name(),
+		Elapsed:        elapsed,
+		InstLatencies:  d.instLat,
+		Decisions:      append([]Decision(nil), d.decisions...),
+		ComputeEnergy:  d.En.ComputeTotal(),
+		MovementEnergy: d.En.MovementTotal(),
+		Counters:       d.snapshotCounters(),
+		OverheadTime:   overhead,
+		Replays:        replays,
+	}
+	return res, nil
+}
+
+// snapshotCounters reports substrate activity since the last measurement
+// reset (excluding program-load provisioning).
+func (d *Device) snapshotCounters() *stats.Counters {
+	c := stats.NewCounters()
+	for k, v := range d.rawCounters() {
+		c.Add(k, v-d.baseline[k])
+	}
+	return c
+}
+
+// features gathers the six cost-function inputs for inst (Table 1).
+func (d *Device) features(inst *isa.Inst) *offload.Features {
+	f := &offload.Features{Inst: inst}
+	now := d.firmware
+
+	// Dependence delay: when the newest versions of the operands (and the
+	// destination, for WAR/WAW ordering) become available.
+	var ready sim.Time
+	for _, s := range inst.Srcs {
+		if d.pageReady[s] > ready {
+			ready = d.pageReady[s]
+		}
+	}
+	if inst.Dst != isa.NoPage && d.pageReady[inst.Dst] > ready {
+		ready = d.pageReady[inst.Dst]
+	}
+	if ready > now {
+		f.DepDelay = ready - now
+	}
+
+	if inst.Op == isa.OpScalar {
+		f.Supported[isa.ResISP] = true
+		f.CompLatency[isa.ResISP] = d.Cfg.SSD.CoreCycles(inst.ScalarCycles)
+		f.QueueDelay[isa.ResISP] = d.Core.Calendar().QueueDelay(now)
+		f.BWUtil[isa.ResISP] = d.Core.Calendar().Utilization(now)
+		return f
+	}
+
+	lanes, elem := inst.Lanes, inst.Elem
+
+	// The SSD-internal shared buses are prone to contention (§4.2); work
+	// that must cross the DRAM bus queues behind its backlog, so the
+	// queueing-delay feature of bus-dependent resources includes it.
+	busDelay := d.DRAM.Bus().QueueDelay(now)
+
+	// ISP: always supported; operands stream through SSD DRAM.
+	stageCost, stageChDelay := d.moveEstimateDRAM(inst)
+	f.Supported[isa.ResISP] = true
+	f.CompLatency[isa.ResISP] = cores.ExecLatency(&d.Cfg.SSD, inst.Op, lanes, elem)
+	f.MoveLatency[isa.ResISP] = stageCost + d.coreTraffic(inst)
+	f.QueueDelay[isa.ResISP] = maxT(d.Core.Calendar().QueueDelay(now), busDelay)
+	if stageCost > 0 {
+		f.QueueDelay[isa.ResISP] = maxT(f.QueueDelay[isa.ResISP], stageChDelay)
+	}
+	f.BWUtil[isa.ResISP] = d.Core.Calendar().Utilization(now)
+
+	// Un-vectorized loops execute lane-serially and only the
+	// general-purpose cores can run them (§7, applicability discussion).
+	if inst.Meta.Unvectorized {
+		f.CompLatency[isa.ResISP] = d.Cfg.SSD.CoreCycles(cores.UnvectorizedCycles(lanes))
+		return f
+	}
+
+	// PuD-SSD. Operand staging crosses the DRAM bus, so its backlog
+	// gates PuD work whenever operands are not already resident.
+	if op, ok := pudOp(inst.Op); ok && isa.Supports(isa.ResPuD, inst.Op) {
+		f.Supported[isa.ResPuD] = true
+		f.CompLatency[isa.ResPuD] = dram.ExecLatency(&d.Cfg.SSD, op, elem)
+		f.MoveLatency[isa.ResPuD] = stageCost
+		f.QueueDelay[isa.ResPuD] = d.DRAM.Units().QueueDelay(now)
+		if stageCost > 0 {
+			f.QueueDelay[isa.ResPuD] = maxT(f.QueueDelay[isa.ResPuD], busDelay, stageChDelay)
+		}
+		f.BWUtil[isa.ResPuD] = d.DRAM.Units().Utilization(now)
+	}
+
+	// IFP.
+	if ifpSupported(inst) {
+		f.Supported[isa.ResIFP] = true
+		plan := d.planIFP(inst)
+		if bop, ok := ifpBitOp(inst.Op); ok {
+			f.CompLatency[isa.ResIFP] = nand.EstimateBitwise(&d.Cfg.SSD, bop, plan.profile)
+		} else if aop, ok := ifpArithOp(inst.Op); ok {
+			lat, _, _ := nand.EstimateArith(&d.Cfg.SSD, aop, elem, plan.profile)
+			f.CompLatency[isa.ResIFP] = lat
+		}
+		f.MoveLatency[isa.ResIFP] = plan.moveCost
+		f.ResultMove[isa.ResIFP] = plan.resultCost
+		f.QueueDelay[isa.ResIFP] = d.Flash.DieCalendar(plan.die).QueueDelay(now)
+		if plan.profile.Loads > 0 {
+			ch := d.planeAddr(plan.plane).Channel
+			f.QueueDelay[isa.ResIFP] = maxT(f.QueueDelay[isa.ResIFP],
+				d.Flash.BusCalendar(ch).QueueDelay(now))
+		}
+		f.BWUtil[isa.ResIFP] = d.Flash.DieCalendar(plan.die).Utilization(now)
+	}
+	return f
+}
+
+// moveEstimateDRAM is the static, contention-free cost of staging all
+// operands of inst into SSD DRAM (the shared prerequisite of ISP and PuD
+// execution). Per §4.3.2, the precomputed data-movement feature captures
+// the transfer cost over the SSD's internal interconnects — the flash
+// channels and the DRAM bus — not the flash sensing latency, which
+// overlaps on otherwise-idle dies.
+func (d *Device) moveEstimateDRAM(inst *isa.Inst) (sim.Time, sim.Time) {
+	cfg := &d.Cfg.SSD
+	now := d.firmware
+	var t, chDelay sim.Time
+	for _, s := range inst.Srcs {
+		if _, cached := d.dramSlot[s]; cached {
+			continue
+		}
+		switch d.Dir.Owner(int(s)) {
+		case coherence.LocFlash, coherence.LocBuffer:
+			t += cfg.ChannelTransferTime(cfg.PageSize) + cfg.DRAMTransferTime(cfg.PageSize)
+			if a, ok := d.FTL.PhysAddr(ftl.LPN(s)); ok {
+				if qd := d.Flash.BusCalendar(a.Channel).QueueDelay(now); qd > chDelay {
+					chDelay = qd
+				}
+			}
+		}
+	}
+	return t, chDelay
+}
+
+// coreTraffic is the extra DRAM-bus traffic of ISP execution: the core
+// streams every operand in and the result out.
+func (d *Device) coreTraffic(inst *isa.Inst) sim.Time {
+	cfg := &d.Cfg.SSD
+	n := len(inst.Srcs) + 1 // sources in, result out
+	return sim.Time(n) * cfg.DRAMTransferTime(inst.VectorBytes())
+}
+
+func (d *Device) meanDieUtil(now sim.Time) float64 {
+	var sum float64
+	n := d.Cfg.SSD.TotalDies()
+	for i := 0; i < n; i++ {
+		sum += d.Flash.DieCalendar(i).Utilization(now)
+	}
+	return sum / float64(n)
+}
+
+// ifpPlan describes how inst would execute in flash: the target plane and
+// die, the operand profile (senses vs latch loads), and the contention-free
+// movement cost of staging non-resident operands.
+type ifpPlan struct {
+	plane      int
+	die        int
+	profile    nand.OperandProfile
+	moveCost   sim.Time // operand staging over the interconnects
+	resultCost sim.Time // copying a live result out of the latches
+}
+
+// planIFP computes the placement plan and static movement estimate for
+// executing inst in flash, mirroring executeIFP's latch-load staging.
+func (d *Device) planIFP(inst *isa.Inst) ifpPlan {
+	cfg := &d.Cfg.SSD
+	geo := d.Flash.Geometry()
+	plan := ifpPlan{plane: -1}
+
+	// Prefer the plane whose buffer already latches an operand (free
+	// chained reuse), else the first flash-resident operand's plane, else
+	// a rotating cursor that spreads latch-loaded work across dies.
+	var flashAddrs []nand.Addr
+	for _, s := range inst.Srcs {
+		switch d.Dir.Owner(int(s)) {
+		case coherence.LocBuffer:
+			if plan.plane == -1 && d.bufferTag[d.bufferPlane(s)] == s {
+				plan.plane = d.bufferPlane(s)
+			}
+		case coherence.LocFlash:
+			if a, ok := d.FTL.PhysAddr(ftl.LPN(s)); ok {
+				flashAddrs = append(flashAddrs, a)
+			}
+		}
+	}
+	if plan.plane == -1 && len(flashAddrs) > 0 {
+		plan.plane = geo.PlaneIndex(flashAddrs[0])
+	}
+	if plan.plane == -1 {
+		plan.plane = d.ifpCursor
+		d.ifpCursor = (d.ifpCursor + 1) % len(d.bufferTag)
+	}
+	plan.die = plan.plane / cfg.PlanesPerDie
+
+	pageMove := cfg.ChannelTransferTime(cfg.PageSize)
+	sameBlock := true
+	var firstInPlane *nand.Addr
+	for _, s := range inst.Srcs {
+		switch d.Dir.Owner(int(s)) {
+		case coherence.LocFlash:
+			a, _ := d.FTL.PhysAddr(ftl.LPN(s))
+			if geo.PlaneIndex(a) == plan.plane {
+				plan.profile.Senses++
+				if firstInPlane == nil {
+					cp := a
+					firstInPlane = &cp
+				} else if geo.BlockIndex(a) != geo.BlockIndex(*firstInPlane) {
+					sameBlock = false
+				}
+			} else {
+				// Cross-plane: read out and load in (two channel hops;
+				// the source sense overlaps on its own die).
+				plan.profile.Loads++
+				plan.moveCost += 2 * pageMove
+			}
+		case coherence.LocBuffer:
+			if d.bufferPlane(s) == plan.plane && d.bufferTag[plan.plane] == s && plan.profile.Latched == 0 {
+				plan.profile.Latched++
+			} else {
+				plan.profile.Loads++
+				plan.moveCost += 2 * pageMove
+			}
+		case coherence.LocDRAM:
+			plan.profile.Loads++
+			plan.moveCost += cfg.DRAMTransferTime(cfg.PageSize) + pageMove
+		}
+	}
+	if plan.profile.Senses > 1 && sameBlock {
+		switch inst.Op {
+		case isa.OpAnd, isa.OpNand, isa.OpOr, isa.OpNor:
+			plan.profile.MWS = true
+		}
+	}
+	// Result placement is data movement too: an in-flash result lands in
+	// the plane buffer, and if its page stays live it must eventually be
+	// copied out (channel + DRAM bus) before the latches are reused. Dead
+	// temporaries (compiler liveness metadata) cost nothing. This is kept
+	// separate from operand movement: Conduit's holistic cost function
+	// prices it, the prior DM model does not (§3.2).
+	if inst.Dst != isa.NoPage && !d.deadAfter(inst.Dst, inst.ID) {
+		plan.resultCost = pageMove + cfg.DRAMTransferTime(cfg.PageSize)
+	}
+	return plan
+}
+
+// bufferPlane returns the flat plane index whose buffer holds page s, or 0.
+func (d *Device) bufferPlane(s isa.PageID) int {
+	for plane, tag := range d.bufferTag {
+		if tag == s {
+			return plane
+		}
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+// Package stats collects and renders the measurements that the experiment
+// harness reports: counters, latency distributions with exact tail
+// percentiles (the paper reports p99 and p99.99 in Fig. 8), per-resource
+// instruction fractions (Fig. 9), and per-instruction timelines (Fig. 10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"conduit/internal/sim"
+)
+
+// Reservoir records a full set of latency samples and computes exact
+// percentiles. The evaluated instruction streams are small enough (at most
+// a few hundred thousand samples) that keeping every sample exact is
+// cheaper and more faithful than an approximating sketch.
+type Reservoir struct {
+	samples []sim.Time
+	sorted  bool
+}
+
+// NewReservoir returns an empty reservoir.
+func NewReservoir() *Reservoir { return &Reservoir{} }
+
+// Add records one sample.
+func (r *Reservoir) Add(v sim.Time) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+}
+
+// Count reports the number of samples.
+func (r *Reservoir) Count() int { return len(r.samples) }
+
+func (r *Reservoir) sortIfNeeded() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p'th percentile (0 <= p <= 100) using the
+// nearest-rank method. It returns 0 for an empty reservoir.
+func (r *Reservoir) Percentile(p float64) sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	r.sortIfNeeded()
+	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.samples) {
+		rank = len(r.samples) - 1
+	}
+	return r.samples[rank]
+}
+
+// P99 is the 99th percentile.
+func (r *Reservoir) P99() sim.Time { return r.Percentile(99) }
+
+// P9999 is the 99.99th percentile.
+func (r *Reservoir) P9999() sim.Time { return r.Percentile(99.99) }
+
+// Max returns the largest sample (0 if empty).
+func (r *Reservoir) Max() sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sortIfNeeded()
+	return r.samples[len(r.samples)-1]
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (r *Reservoir) Mean() sim.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range r.samples {
+		sum += int64(s)
+	}
+	return sim.Time(sum / int64(len(r.samples)))
+}
+
+// Sum returns the total of all samples.
+func (r *Reservoir) Sum() sim.Time {
+	var sum sim.Time
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum
+}
+
+// Counters is a named set of monotonically increasing tallies.
+type Counters struct {
+	m     map[string]int64
+	order []string
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if _, ok := c.m[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.m[name] += delta
+}
+
+// Get reports the value of name (0 if never added).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns counter names in first-use order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// GeoMean returns the geometric mean of xs. It panics if any value is
+// non-positive: speedups in the harness are always > 0, so a non-positive
+// input indicates a broken experiment.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

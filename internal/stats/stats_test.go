@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conduit/internal/sim"
+)
+
+func TestReservoirPercentiles(t *testing.T) {
+	r := NewReservoir()
+	for i := 1; i <= 100; i++ {
+		r.Add(sim.Time(i))
+	}
+	if got := r.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := r.P99(); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := r.P9999(); got != 100 {
+		t.Errorf("p99.99 = %v, want 100", got)
+	}
+	if got := r.Max(); got != 100 {
+		t.Errorf("max = %v, want 100", got)
+	}
+	if got := r.Mean(); got != 50 {
+		t.Errorf("mean = %v, want 50", got)
+	}
+	if got := r.Sum(); got != 5050 {
+		t.Errorf("sum = %v, want 5050", got)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir()
+	if r.P99() != 0 || r.Max() != 0 || r.Mean() != 0 || r.Count() != 0 {
+		t.Fatal("empty reservoir should report zeros")
+	}
+}
+
+func TestReservoirInterleavedAddAndQuery(t *testing.T) {
+	r := NewReservoir()
+	r.Add(10)
+	if r.Percentile(100) != 10 {
+		t.Fatal("single-sample percentile wrong")
+	}
+	r.Add(5) // must invalidate the sorted cache
+	if got := r.Percentile(0); got != 5 {
+		t.Fatalf("p0 after second add = %v, want 5", got)
+	}
+}
+
+// Property: percentile is monotone in p and always one of the samples.
+func TestReservoirPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		r := NewReservoir()
+		set := map[sim.Time]bool{}
+		for _, v := range vals {
+			r.Add(sim.Time(v))
+			set[sim.Time(v)] = true
+		}
+		prev := sim.Time(-1)
+		for _, p := range []float64{0, 25, 50, 75, 90, 99, 99.99, 100} {
+			got := r.Percentile(p)
+			if got < prev || !set[got] {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("flash.reads", 3)
+	c.Add("dram.bbops", 1)
+	c.Add("flash.reads", 2)
+	if c.Get("flash.reads") != 5 {
+		t.Fatalf("flash.reads = %d, want 5", c.Get("flash.reads"))
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter should be 0")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "flash.reads" || names[1] != "dram.bbops" {
+		t.Fatalf("names = %v, want insertion order", names)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of non-positive value should panic")
+		}
+	}()
+	GeoMean([]float64{0})
+}
+
+// Property: GeoMean lies between min and max of its inputs.
+func TestGeoMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)/16 + 0.1 // strictly positive
+		}
+		g := GeoMean(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return g >= sorted[0]-1e-9 && g <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig X", "workload", "speedup")
+	tb.AddRowf("AES", 1.25)
+	tb.AddRowf("heat-3d", 4.0)
+	out := tb.String()
+	for _, want := range []string{"== Fig X ==", "workload", "AES", "1.250", "heat-3d", "4.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+	if tb.Cell(0, 0) != "AES" {
+		t.Fatalf("Cell(0,0) = %q", tb.Cell(0, 0))
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,y`, `q"z`)
+	var b strings.Builder
+	tb.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"q""z"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", out)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only-one")
+	if tb.Cell(0, 2) != "" {
+		t.Fatal("missing cells should render empty")
+	}
+	tb.AddRow("1", "2", "3", "4") // extra cell dropped
+	if tb.Cell(1, 2) != "3" {
+		t.Fatal("extra cells should be dropped")
+	}
+}

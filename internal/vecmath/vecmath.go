@@ -1,0 +1,112 @@
+// Package vecmath implements the functional (bit-accurate) elementwise
+// vector arithmetic shared by every computation substrate in the simulator:
+// the flash latch engine, the processing-using-DRAM engine, the controller
+// MVE model, the host models, and the compiler's scalar reference
+// interpreter. Centralizing it guarantees all substrates agree on
+// semantics, which the cross-substrate equivalence tests rely on.
+//
+// Elements are little-endian unsigned integers of 1, 2 or 4 bytes; signed
+// operations sign-extend explicitly.
+package vecmath
+
+import "fmt"
+
+// CheckElem panics unless elem is a supported element size.
+func CheckElem(elem int) {
+	if elem != 1 && elem != 2 && elem != 4 {
+		panic(fmt.Sprintf("vecmath: unsupported element size %d", elem))
+	}
+}
+
+// Mask returns the value mask for an element of elem bytes.
+func Mask(elem int) uint64 {
+	return uint64(1)<<(8*elem) - 1
+}
+
+// Load reads element i from p.
+func Load(p []byte, i, elem int) uint64 {
+	off := i * elem
+	var v uint64
+	for b := 0; b < elem; b++ {
+		v |= uint64(p[off+b]) << (8 * b)
+	}
+	return v
+}
+
+// Store writes element i of p, truncating v to the element size.
+func Store(p []byte, i, elem int, v uint64) {
+	off := i * elem
+	v &= Mask(elem)
+	for b := 0; b < elem; b++ {
+		p[off+b] = byte(v >> (8 * b))
+	}
+}
+
+// ToSigned reinterprets the low 8*elem bits of v as a signed integer.
+func ToSigned(v uint64, elem int) int64 {
+	shift := 64 - 8*elem
+	return int64(v<<shift) >> shift
+}
+
+// FromSigned truncates a signed value into element representation.
+func FromSigned(v int64, elem int) uint64 {
+	return uint64(v) & Mask(elem)
+}
+
+// Binary applies f elementwise: dst[i] = f(a[i], b[i]). dst may alias a or
+// b. All slices must share a length that is a multiple of elem.
+func Binary(dst, a, b []byte, elem int, f func(x, y uint64) uint64) {
+	CheckElem(elem)
+	n := len(dst) / elem
+	for i := 0; i < n; i++ {
+		Store(dst, i, elem, f(Load(a, i, elem), Load(b, i, elem)))
+	}
+}
+
+// Unary applies f elementwise: dst[i] = f(a[i]).
+func Unary(dst, a []byte, elem int, f func(x uint64) uint64) {
+	CheckElem(elem)
+	n := len(dst) / elem
+	for i := 0; i < n; i++ {
+		Store(dst, i, elem, f(Load(a, i, elem)))
+	}
+}
+
+// BinaryImm applies f elementwise against a broadcast immediate:
+// dst[i] = f(a[i], imm).
+func BinaryImm(dst, a []byte, elem int, imm uint64, f func(x, y uint64) uint64) {
+	CheckElem(elem)
+	n := len(dst) / elem
+	for i := 0; i < n; i++ {
+		Store(dst, i, elem, f(Load(a, i, elem), imm))
+	}
+}
+
+// Broadcast fills dst with the immediate value v in every lane.
+func Broadcast(dst []byte, elem int, v uint64) {
+	CheckElem(elem)
+	n := len(dst) / elem
+	for i := 0; i < n; i++ {
+		Store(dst, i, elem, v)
+	}
+}
+
+// ReduceAdd sums all elements of a modulo the element width.
+func ReduceAdd(a []byte, elem int) uint64 {
+	CheckElem(elem)
+	var sum uint64
+	n := len(a) / elem
+	for i := 0; i < n; i++ {
+		sum += Load(a, i, elem)
+	}
+	return sum & Mask(elem)
+}
+
+// Bool converts a predicate to the canonical lane values used by the
+// predication operations: all-ones for true, zero for false.
+func Bool(b bool, elem int) uint64 {
+	if b {
+		return Mask(elem)
+	}
+	return 0
+}

@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"testing"
+
+	"conduit/internal/compiler"
+	"conduit/internal/cores"
+	"conduit/internal/isa"
+)
+
+// execIR runs a compiled program with the shared functional kernel.
+func execIR(t *testing.T, c *compiler.Compiled, pageSize int) map[isa.PageID][]byte {
+	t.Helper()
+	mem := make(map[isa.PageID][]byte)
+	load := func(p isa.PageID) []byte {
+		if b, ok := mem[p]; ok {
+			return b
+		}
+		if b, ok := c.Inputs[p]; ok {
+			cp := append([]byte(nil), b...)
+			mem[p] = cp
+			return cp
+		}
+		b := make([]byte, pageSize)
+		mem[p] = b
+		return b
+	}
+	for i := range c.Prog.Insts {
+		in := &c.Prog.Insts[i]
+		if in.Op == isa.OpScalar {
+			continue
+		}
+		srcs := make([][]byte, 0, len(in.Srcs))
+		for _, s := range in.Srcs {
+			srcs = append(srcs, load(s))
+		}
+		out := make([]byte, pageSize)
+		if err := cores.Apply(in.Op, out, srcs, in.Elem, in.UseImm, in.Imm); err != nil {
+			t.Fatalf("inst %d (%v): %v", i, in.Op, err)
+		}
+		mem[in.Dst] = out
+	}
+	return mem
+}
