@@ -11,9 +11,11 @@ package conduit_test
 // the experiments CLI accepts -scale) for longer, closer-to-paper streams.
 
 import (
+	"fmt"
 	"testing"
 
 	conduit "conduit"
+	"conduit/internal/workloads"
 )
 
 const benchScale = 2
@@ -116,6 +118,69 @@ func BenchmarkAblationVectorWidth(b *testing.B) {
 // BenchmarkAblationChannels regenerates the flash-channel sweep.
 func BenchmarkAblationChannels(b *testing.B) {
 	benchTable(b, harness(benchScale).AblationChannels)
+}
+
+// --- Sweep engine ------------------------------------------------------------
+//
+// The two sweep benchmarks quantify the deploy-amortized, concurrent grid
+// engine against the serial seed path on the same workload x policy grid:
+//
+//	go test -bench='Sweep' -benchtime=1x
+//
+// BenchmarkSweepSerialFullDeploy pays a complete NVMe deploy (per-page
+// I/O writes + chunked fw-download + fw-commit) for every cell and runs
+// cells one at a time. BenchmarkSweepGridSnapshot4Workers deploys each
+// workload once, restores the post-deploy snapshot per policy, and
+// executes cells on a 4-worker pool — the configuration the ISSUE's
+// >=2x acceptance bar refers to. Results are byte-identical across the
+// two paths (see TestParallelGridMatchesSerialSweep).
+
+// sweepGridPolicies is the full Fig. 7 lineup the grid benches sweep.
+var sweepGridPolicies = conduit.Policies()
+
+func BenchmarkSweepSerialFullDeploy(b *testing.B) {
+	cfg := conduit.DefaultConfig()
+	sys := conduit.NewSystem(cfg)
+	e := conduit.NewExperiments(cfg, 1)
+	comp := make([]*conduit.Compiled, 0, len(e.Workloads()))
+	for _, w := range e.Workloads() {
+		c, err := compileWorkload(&cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp = append(comp, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range comp {
+			for _, p := range sweepGridPolicies {
+				if _, err := sys.RunCompiled(c, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSweepGridSnapshot4Workers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// A fresh harness per iteration: the memo cache would otherwise
+		// turn later iterations into lookups.
+		e := conduit.NewExperiments(conduit.DefaultConfig(), 1)
+		e.SetWorkers(4)
+		if _, err := e.RunGrid(e.Workloads(), sweepGridPolicies); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func compileWorkload(cfg *conduit.Config, name string) (*conduit.Compiled, error) {
+	for _, w := range workloads.All(1) {
+		if w.Name == name {
+			return conduit.Compile(w.Source, cfg)
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
 // BenchmarkOffloaderDecision measures the raw per-instruction offloading

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|table3|overhead|ablation|all]
+//	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|all]
+//
+// Shared workload x policy sweeps execute concurrently across -workers
+// goroutines, deploying each workload once and restoring the post-deploy
+// snapshot per policy; tables are identical to a serial sweep.
 package main
 
 import (
@@ -19,6 +23,7 @@ func main() {
 	scale := flag.Int("scale", 2, "workload scale factor (1 = smoke test)")
 	window := flag.Int("fig10window", 12000, "instruction window for Fig 10")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", 0, "concurrent sweep runs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	which := "all"
@@ -26,12 +31,14 @@ func main() {
 		which = flag.Arg(0)
 	}
 	e := conduit.NewExperiments(conduit.DefaultConfig(), *scale)
+	e.SetWorkers(*workers)
 
 	type exp struct {
 		name string
 		run  func() (*conduit.Table, error)
 	}
 	exps := []exp{
+		{"grid", e.GridTable},
 		{"table3", e.Table3},
 		{"fig4", e.Fig4},
 		{"fig5", e.Fig5},

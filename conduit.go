@@ -20,6 +20,29 @@
 //
 // The experiments in cmd/experiments and bench_test.go regenerate every
 // table and figure of the paper's evaluation through this API.
+//
+// # Reuse and concurrency contract
+//
+// A RunResult is an immutable value snapshot: its latency reservoir,
+// decision trace, and counters are deep copies taken at completion, so
+// later activity on any device can never mutate a result already handed
+// out.
+//
+// A simulated drive's loaded data image is consumed by execution: running
+// a program mutates pages, calendars, and coherence state, so each
+// ssd.Device executes at most one Run (a second Run fails fast). To
+// execute many policies over one workload without paying the full NVMe
+// deploy path per run, use Deploy: it performs the deploy once and the
+// returned Deployment restores a pristine post-deploy device in O(state)
+// per run via a deep clone.
+//
+// System, Compiled, and Deployment are safe for concurrent use by
+// multiple goroutines; every run executes on its own cloned device, and
+// policy instances are constructed per run. An ssd.Device itself is
+// single-goroutine — never share one across goroutines. The
+// Experiments.RunGrid sweep engine builds on this contract to execute a
+// workload x policy grid across a worker pool with results byte-identical
+// to the serial path.
 package conduit
 
 import (
@@ -184,44 +207,19 @@ func (s *System) Run(src *Source, policy string) (*RunResult, error) {
 }
 
 // RunCompiled executes an already-compiled program under the named policy.
-// Each call deploys onto a fresh simulated drive, since execution consumes
-// the loaded data image.
+// Each call deploys onto a fresh simulated drive through the full NVMe
+// path, since execution consumes the loaded data image. Sweeps over many
+// policies should Deploy once and run on the Deployment instead.
 func (s *System) RunCompiled(c *Compiled, policy string) (*RunResult, error) {
 	switch policy {
 	case "CPU", "GPU":
-		kind := host.CPU
-		if policy == "GPU" {
-			kind = host.GPU
-		}
-		res, _, err := host.New(&s.cfg, kind).Run(c.Prog, c.Inputs)
-		if err != nil {
-			return nil, err
-		}
-		return &RunResult{
-			Policy:         policy,
-			Elapsed:        res.Elapsed,
-			ComputeEnergy:  res.ComputeEnergy,
-			MovementEnergy: res.MovementEnergy,
-			InstLatencies:  res.InstLatencies,
-		}, nil
+		return s.runHost(c, policy)
 	case "Ideal":
 		dev, err := s.deploy(c)
 		if err != nil {
 			return nil, err
 		}
-		res, _, err := dev.RunIdeal()
-		if err != nil {
-			return nil, err
-		}
-		return &RunResult{
-			Policy:         policy,
-			Elapsed:        res.Elapsed,
-			ComputeEnergy:  res.ComputeEnergy,
-			MovementEnergy: res.MovementEnergy,
-			InstLatencies:  res.InstLatencies,
-			Decisions:      res.Decisions,
-			Device:         dev,
-		}, nil
+		return runIdealOn(dev)
 	default:
 		pol := devicePolicy(policy)
 		if pol == nil {
@@ -231,22 +229,119 @@ func (s *System) RunCompiled(c *Compiled, policy string) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		dev.EnterComputationMode()
-		res, err := dev.Run(pol)
-		dev.ExitComputationMode()
-		if err != nil {
-			return nil, err
+		return runPolicyOn(dev, policy)
+	}
+}
+
+// runHost executes c on one of the OSP baselines (no drive involved).
+func (s *System) runHost(c *Compiled, policy string) (*RunResult, error) {
+	kind := host.CPU
+	if policy == "GPU" {
+		kind = host.GPU
+	}
+	res, _, err := host.New(&s.cfg, kind).Run(c.Prog, c.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Policy:         policy,
+		Elapsed:        res.Elapsed,
+		ComputeEnergy:  res.ComputeEnergy,
+		MovementEnergy: res.MovementEnergy,
+		InstLatencies:  res.InstLatencies,
+	}, nil
+}
+
+// runIdealOn executes the unrealizable Ideal policy on a deployed device.
+func runIdealOn(dev *ssd.Device) (*RunResult, error) {
+	res, _, err := dev.RunIdeal()
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Policy:         "Ideal",
+		Elapsed:        res.Elapsed,
+		ComputeEnergy:  res.ComputeEnergy,
+		MovementEnergy: res.MovementEnergy,
+		InstLatencies:  res.InstLatencies,
+		Decisions:      res.Decisions,
+		Device:         dev,
+	}, nil
+}
+
+// runPolicyOn executes the named in-SSD policy on a deployed device,
+// consuming its loaded image. A fresh policy instance is constructed per
+// call (some baselines, e.g. IFP+ISP, carry per-run state).
+func runPolicyOn(dev *ssd.Device, policy string) (*RunResult, error) {
+	pol := devicePolicy(policy)
+	if pol == nil {
+		return nil, fmt.Errorf("conduit: unknown policy %q (see Policies())", policy)
+	}
+	dev.EnterComputationMode()
+	res, err := dev.Run(pol)
+	dev.ExitComputationMode()
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Policy:         policy,
+		Elapsed:        res.Elapsed,
+		ComputeEnergy:  res.ComputeEnergy,
+		MovementEnergy: res.MovementEnergy,
+		InstLatencies:  res.InstLatencies,
+		Decisions:      res.Decisions,
+		OverheadTime:   res.OverheadTime,
+		Device:         dev,
+	}, nil
+}
+
+// A Deployment is a compiled program deployed onto a simulated drive,
+// reusable across runs. The NVMe deploy (per-page I/O writes, chunked
+// fw-download, fw-commit) executes exactly once, in Deploy; each Run then
+// restores the post-deploy device in O(state) by deep-cloning the pristine
+// master instead of re-driving the NVMe path. Runs on one Deployment are
+// independent and safe to issue from multiple goroutines concurrently;
+// results are byte-identical to deploying freshly per run.
+type Deployment struct {
+	sys    *System
+	c      *Compiled
+	master *ssd.Device // pristine post-deploy image; never executed
+}
+
+// Deploy compiles nothing and runs nothing: it installs the already
+// compiled program on a fresh drive over the NVMe path and captures the
+// result as a reusable Deployment.
+func (s *System) Deploy(c *Compiled) (*Deployment, error) {
+	dev, err := s.deploy(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{sys: s, c: c, master: dev}, nil
+}
+
+// Compiled returns the deployed program.
+func (d *Deployment) Compiled() *Compiled { return d.c }
+
+// Fork returns a fresh device restored to the post-deploy state. The
+// caller owns the returned device exclusively; the pristine master is
+// never handed out.
+func (d *Deployment) Fork() *ssd.Device { return d.master.Clone() }
+
+// Run executes the deployed program under the named policy on a restored
+// post-deploy device (host baselines need no device and use the compiled
+// program directly). Safe for concurrent use.
+func (d *Deployment) Run(policy string) (*RunResult, error) {
+	switch policy {
+	case "CPU", "GPU":
+		return d.sys.runHost(d.c, policy)
+	case "Ideal":
+		return runIdealOn(d.Fork())
+	default:
+		// Reject unknown policies before paying for the device clone.
+		if devicePolicy(policy) == nil {
+			return nil, fmt.Errorf("conduit: unknown policy %q (see Policies())", policy)
 		}
-		return &RunResult{
-			Policy:         policy,
-			Elapsed:        res.Elapsed,
-			ComputeEnergy:  res.ComputeEnergy,
-			MovementEnergy: res.MovementEnergy,
-			InstLatencies:  res.InstLatencies,
-			Decisions:      res.Decisions,
-			OverheadTime:   res.OverheadTime,
-			Device:         dev,
-		}, nil
+		return runPolicyOn(d.Fork(), policy)
 	}
 }
 

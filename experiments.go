@@ -2,7 +2,9 @@ package conduit
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"conduit/internal/compiler"
 	"conduit/internal/isa"
@@ -13,12 +15,19 @@ import (
 // Experiments regenerates every table and figure of the paper's
 // motivation and evaluation sections (see DESIGN.md's per-experiment
 // index). Runs are memoized, so figures sharing the same sweeps (Figs. 5,
-// 7a, 7b, 9) execute each workload x policy pair once.
+// 7a, 7b, 9) execute each workload x policy pair once. Each workload is
+// compiled and NVMe-deployed once; every policy run restores the
+// post-deploy snapshot instead of re-driving the deploy path, and RunGrid
+// executes whole workload x policy grids across a worker pool. All
+// methods are safe for concurrent use.
 type Experiments struct {
-	sys   *System
-	scale int
-	cache map[string]*RunResult
-	comp  map[string]*Compiled
+	sys     *System
+	scale   int
+	workers int
+
+	compiles flightGroup // workload -> *Compiled
+	deploys  flightGroup // workload -> *Deployment
+	runs     flightGroup // workload|policy -> *RunResult
 }
 
 // NewExperiments builds a harness at the given workload scale factor
@@ -28,11 +37,19 @@ func NewExperiments(cfg Config, scale int) *Experiments {
 		scale = 1
 	}
 	return &Experiments{
-		sys:   NewSystem(cfg),
-		scale: scale,
-		cache: make(map[string]*RunResult),
-		comp:  make(map[string]*Compiled),
+		sys:     NewSystem(cfg),
+		scale:   scale,
+		workers: runtime.GOMAXPROCS(0),
 	}
+}
+
+// SetWorkers bounds the number of concurrent runs RunGrid (and the figure
+// sweeps built on it) may execute. n < 1 selects GOMAXPROCS.
+func (e *Experiments) SetWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
 }
 
 // Workloads lists the six evaluated workload names in figure order.
@@ -45,38 +62,157 @@ func (e *Experiments) Workloads() []string {
 }
 
 func (e *Experiments) compiled(workload string) (*Compiled, error) {
-	if c, ok := e.comp[workload]; ok {
-		return c, nil
-	}
-	for _, w := range workloads.All(e.scale) {
-		if w.Name == workload {
-			c, err := Compile(w.Source, &e.sys.cfg)
-			if err != nil {
-				return nil, err
+	v, err := e.compiles.do(workload, func() (interface{}, error) {
+		for _, w := range workloads.All(e.scale) {
+			if w.Name == workload {
+				return Compile(w.Source, &e.sys.cfg)
 			}
-			e.comp[workload] = c
-			return c, nil
 		}
-	}
-	return nil, fmt.Errorf("conduit: unknown workload %q", workload)
-}
-
-// Run executes (workload, policy), memoized.
-func (e *Experiments) Run(workload, policy string) (*RunResult, error) {
-	key := workload + "|" + policy
-	if r, ok := e.cache[key]; ok {
-		return r, nil
-	}
-	c, err := e.compiled(workload)
+		return nil, fmt.Errorf("conduit: unknown workload %q", workload)
+	})
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.sys.RunCompiled(c, policy)
+	return v.(*Compiled), nil
+}
+
+// deployment returns workload's reusable post-deploy image, deploying at
+// most once per workload.
+func (e *Experiments) deployment(workload string) (*Deployment, error) {
+	v, err := e.deploys.do(workload, func() (interface{}, error) {
+		c, err := e.compiled(workload)
+		if err != nil {
+			return nil, err
+		}
+		return e.sys.Deploy(c)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", workload, policy, err)
+		return nil, err
 	}
-	e.cache[key] = r
-	return r, nil
+	return v.(*Deployment), nil
+}
+
+// Run executes (workload, policy), memoized. Concurrent callers of the
+// same cell share one execution; distinct cells run independently.
+func (e *Experiments) Run(workload, policy string) (*RunResult, error) {
+	v, err := e.runs.do(workload+"|"+policy, func() (interface{}, error) {
+		var r *RunResult
+		var err error
+		switch policy {
+		case "CPU", "GPU":
+			// Host baselines need no drive: run from the compiled program.
+			var c *Compiled
+			if c, err = e.compiled(workload); err == nil {
+				r, err = e.sys.runHost(c, policy)
+			}
+		default:
+			var dep *Deployment
+			if dep, err = e.deployment(workload); err == nil {
+				r, err = dep.Run(policy)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s under %s: %w", workload, policy, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*RunResult), nil
+}
+
+// RunGrid executes every (workload, policy) cell of the grid across a
+// pool of e.workers goroutines, memoizing each cell, and returns the
+// results in workload-major order: out[i][j] is workloads[i] under
+// policies[j]. Output ordering and values are deterministic — identical
+// to running the same cells serially — because every cell executes on its
+// own restored device and results are placed by index, not completion
+// order. On failure the error of the first cell in grid order is
+// returned.
+func (e *Experiments) RunGrid(workloads, policies []string) ([][]*RunResult, error) {
+	out := make([][]*RunResult, len(workloads))
+	errs := make([][]error, len(workloads))
+	for i := range workloads {
+		out[i] = make([]*RunResult, len(policies))
+		errs[i] = make([]error, len(policies))
+	}
+	type cell struct{ i, j int }
+	jobs := make(chan cell)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				out[c.i][c.j], errs[c.i][c.j] = e.Run(workloads[c.i], policies[c.j])
+			}
+		}()
+	}
+	for i := range workloads {
+		for j := range policies {
+			jobs <- cell{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for i := range errs {
+		for _, err := range errs[i] {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// flightGroup memoizes keyed computations with singleflight semantics:
+// concurrent callers of one key share a single execution, successes are
+// cached forever, failures are not cached (a later caller retries).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  interface{}
+	err  error
+}
+
+func (g *flightGroup) do(key string, fn func() (interface{}, error)) (interface{}, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// A panicking fn must not poison the key: waiters blocked on c.done
+	// would hang forever and every later caller would join them. Record
+	// the panic as the call's error, unblock everyone, then re-panic so
+	// the executing caller still fails loudly.
+	finished := false
+	defer func() {
+		if !finished {
+			c.err = fmt.Errorf("conduit: sweep cell %q panicked", key)
+		}
+		if c.err != nil {
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+		}
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	finished = true
+	return c.val, c.err
 }
 
 // Speedup reports workload's speedup under policy, normalized to CPU.
@@ -90,6 +226,27 @@ func (e *Experiments) Speedup(workload, policy string) (float64, error) {
 		return 0, err
 	}
 	return float64(cpu.Elapsed) / float64(r.Elapsed), nil
+}
+
+// GridTable runs the full workload x policy grid through the concurrent
+// sweep engine and reports every cell's end-to-end execution time — the
+// raw material the individual figures slice.
+func (e *Experiments) GridTable() (*Table, error) {
+	ps := Policies()
+	grid, err := e.RunGrid(e.Workloads(), ps)
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]string{"workload"}, ps...)
+	t := stats.NewTable("Grid: execution time (ms) per workload x policy", cols...)
+	for i, w := range e.Workloads() {
+		row := []interface{}{w}
+		for j := range ps {
+			row = append(row, float64(grid[i][j].Elapsed)/1e6)
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
 }
 
 // --- Fig. 4: case study ------------------------------------------------------
@@ -211,6 +368,12 @@ var fig7Policies = []string{"GPU", "ISP", "PuD-SSD", "Flash-Cosmos", "Ares-Flash
 	"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"}
 
 func (e *Experiments) speedupTable(title string, policies []string) (*Table, error) {
+	// Fill the whole grid (plus the CPU baseline column every speedup
+	// divides by) across the worker pool; the loop below then reads
+	// memoized cells in deterministic figure order.
+	if _, err := e.RunGrid(e.Workloads(), append([]string{"CPU"}, policies...)); err != nil {
+		return nil, err
+	}
 	cols := append([]string{"workload"}, policies...)
 	t := stats.NewTable(title, cols...)
 	geo := make(map[string][]float64)
@@ -252,6 +415,9 @@ func (e *Experiments) Fig7a() (*Table, error) {
 // the data-movement share of each bar (§6.2).
 func (e *Experiments) Fig7b() (*Table, error) {
 	policies := append([]string{"CPU"}, fig7Policies...)
+	if _, err := e.RunGrid(e.Workloads(), policies); err != nil {
+		return nil, err
+	}
 	cols := append([]string{"workload"}, policies...)
 	t := stats.NewTable("Fig 7(b): energy normalized to CPU (movement share in parentheses)", cols...)
 	for _, w := range e.Workloads() {
@@ -284,10 +450,15 @@ func (e *Experiments) Fig7b() (*Table, error) {
 // latencies of Ideal, Conduit, BW-Offloading, and DM-Offloading on LLaMA2
 // inference and jacobi-1d (§6.3).
 func (e *Experiments) Fig8() (*Table, error) {
+	ws := []string{"LlaMA2 Inference", "jacobi-1d"}
+	ps := []string{"Ideal", "Conduit", "BW-Offloading", "DM-Offloading"}
+	if _, err := e.RunGrid(ws, ps); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig 8: tail latency (µs)",
 		"workload", "policy", "p99_us", "p9999_us")
-	for _, w := range []string{"LlaMA2 Inference", "jacobi-1d"} {
-		for _, p := range []string{"Ideal", "Conduit", "BW-Offloading", "DM-Offloading"} {
+	for _, w := range ws {
+		for _, p := range ps {
 			r, err := e.Run(w, p)
 			if err != nil {
 				return nil, err
@@ -305,10 +476,14 @@ func (e *Experiments) Fig8() (*Table, error) {
 // Fig9 reproduces the resource-utilization breakdown: the fraction of
 // instructions each policy offloads to ISP, PuD-SSD, and IFP (§6.4).
 func (e *Experiments) Fig9() (*Table, error) {
+	ps := []string{"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"}
+	if _, err := e.RunGrid(e.Workloads(), ps); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig 9: fraction of instructions per computation resource",
 		"workload", "policy", "ISP", "PuD-SSD", "IFP")
 	for _, w := range e.Workloads() {
-		for _, p := range []string{"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"} {
+		for _, p := range ps {
 			r, err := e.Run(w, p)
 			if err != nil {
 				return nil, err

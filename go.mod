@@ -1,0 +1,3 @@
+module conduit
+
+go 1.24.0

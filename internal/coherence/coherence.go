@@ -143,5 +143,14 @@ func (d *Directory) Sync(p int, reason SyncReason) bool {
 // SyncCount reports how many synchronizations each trigger caused.
 func (d *Directory) SyncCount(r SyncReason) int64 { return d.syncs[r] }
 
+// Clone returns an independent copy of the directory.
+func (d *Directory) Clone() *Directory {
+	return &Directory{
+		entries: append([]Entry(nil), d.entries...),
+		syncs:   d.syncs,
+		mods:    d.mods,
+	}
+}
+
 // Modifications reports the total number of recorded modifications.
 func (d *Directory) Modifications() int64 { return d.mods }

@@ -217,6 +217,15 @@ func (c *Core) ExecScalar(now, ready sim.Time, cyc int64) (sim.Time, error) {
 	return done, nil
 }
 
+// Clone returns an independent copy of the core (calendar and counters),
+// charging future energy to en.
+func (c *Core) Clone(en *energy.Account) *Core {
+	cp := *c
+	cp.en = en
+	cp.cal = c.cal.Clone()
+	return &cp
+}
+
 // Stats reports operation counts for experiment tables.
 func (c *Core) Stats() map[string]int64 {
 	return map[string]int64{

@@ -328,6 +328,33 @@ func (m *Module) apply(op Op, out []byte, vals [][]byte, elem int) {
 	}
 }
 
+// Clone returns an independent copy of the module — slot contents,
+// calendars, and activity counters — charging future energy to en. Clones
+// share only immutable state, so a clone and its original can be driven
+// from different goroutines. Slot payloads are shared, not copied: every
+// mutation path (Write, Exec, SetSlotForTest) replaces the stored slice
+// with a freshly allocated one, so a stored payload is immutable for its
+// lifetime.
+func (m *Module) Clone(en *energy.Account) *Module {
+	c := &Module{
+		cfg:        m.cfg,
+		en:         en,
+		units:      m.units.Clone(),
+		bus:        m.bus.Clone(),
+		slots:      make(map[int][]byte, len(m.slots)),
+		capacity:   m.capacity,
+		opImm:      m.opImm,
+		bbops:      m.bbops,
+		reads:      m.reads,
+		writes:     m.writes,
+		bytesMoved: m.bytesMoved,
+	}
+	for s, d := range m.slots {
+		c.slots[s] = d // payloads are replace-on-write; see doc comment
+	}
+	return c
+}
+
 // SetSlotForTest force-writes slot contents without timing (fixture hook).
 func (m *Module) SetSlotForTest(slot int, data []byte) {
 	m.checkSlot(slot)

@@ -69,10 +69,25 @@ func (a *Account) Reset() {
 	a.movement = make(map[string]float64)
 }
 
+// Clone returns an independent copy of the account.
+func (a *Account) Clone() *Account {
+	c := NewAccount()
+	for k, v := range a.compute {
+		c.compute[k] = v
+	}
+	for k, v := range a.movement {
+		c.movement[k] = v
+	}
+	return c
+}
+
+// total sums in sorted key order: float addition is not associative, so
+// map-order summation would make otherwise identical runs differ in the
+// last bits — run-for-run determinism requires a fixed order.
 func total(m map[string]float64) float64 {
 	var sum float64
-	for _, v := range m {
-		sum += v
+	for _, k := range keys(m) {
+		sum += m[k]
 	}
 	return sum
 }

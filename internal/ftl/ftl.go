@@ -429,6 +429,36 @@ func (f *FTL) Migrate(now sim.Time, lpns []LPN, plane int) (sim.Time, error) {
 	return done, nil
 }
 
+// Clone returns a deep copy of the FTL bound to arr (normally a Clone of
+// the original's array): the L2P/P2L maps, per-plane allocation state, the
+// mapping cache with its exact LRU order (cache order determines lookup
+// latencies, so restoring it is required for run-for-run determinism), and
+// the activity counters.
+func (f *FTL) Clone(arr *nand.Array) *FTL {
+	c := &FTL{
+		cfg:         f.cfg,
+		geo:         f.geo,
+		arr:         arr,
+		l2p:         append([]int(nil), f.l2p...),
+		p2l:         append([]LPN(nil), f.p2l...),
+		valid:       append([]bool(nil), f.valid...),
+		freeBlocks:  make([][]int, len(f.freeBlocks)),
+		activeBlock: append([]int(nil), f.activeBlock...),
+		nextPage:    append([]int(nil), f.nextPage...),
+		validCount:  append([]int(nil), f.validCount...),
+		cache:       f.cache.clone(),
+		nextPlane:   f.nextPlane,
+		gcRuns:      f.gcRuns,
+		migrations:  f.migrations,
+		mapMisses:   f.mapMisses,
+		mapHits:     f.mapHits,
+	}
+	for p, blocks := range f.freeBlocks {
+		c.freeBlocks[p] = append([]int(nil), blocks...)
+	}
+	return c
+}
+
 // Stats reports FTL activity counters.
 func (f *FTL) Stats() map[string]int64 {
 	return map[string]int64{
@@ -465,6 +495,17 @@ func newMappingCache(capacity int) *mappingCache {
 		capacity = 1
 	}
 	return &mappingCache{capacity: capacity, entries: make(map[LPN]*cacheNode)}
+}
+
+// clone copies the cache preserving the exact recency order.
+func (c *mappingCache) clone() *mappingCache {
+	nc := newMappingCache(c.capacity)
+	for n := c.tail; n != nil; n = n.prev {
+		cp := &cacheNode{lpn: n.lpn}
+		nc.entries[cp.lpn] = cp
+		nc.pushFront(cp)
+	}
+	return nc
 }
 
 // touch reports whether lpn is cached, refreshing its recency.

@@ -462,6 +462,59 @@ func (a *Array) SetPageForTest(addr Addr, data []byte) {
 	a.state[idx] = pageProgrammed
 }
 
+// Clone returns an independent copy of the array — page contents, page
+// states, erase counts, plane buffers, injected bit errors, calendars, and
+// activity counters — charging future energy to en. Clones share only
+// immutable state, so a clone and its original can be driven from
+// different goroutines.
+//
+// Page payloads (the []byte values in data and the plane buffers) are
+// shared, not copied: every mutation path in this package (Program,
+// Erase, FlushBuffer, Bitwise, Arith, SetPageForTest) replaces the stored
+// slice with a freshly allocated one rather than writing into it, so a
+// stored payload is immutable for its lifetime and restoring a deployed
+// image costs O(pages) map entries instead of O(bytes).
+func (a *Array) Clone(en *energy.Account) *Array {
+	c := &Array{
+		cfg:            a.cfg,
+		geo:            a.geo,
+		en:             en,
+		data:           make(map[int][]byte, len(a.data)),
+		bitErrors:      make(map[int]int, len(a.bitErrors)),
+		state:          append([]pageState(nil), a.state...),
+		erases:         append([]int(nil), a.erases...),
+		buffers:        make([]*Buffer, len(a.buffers)),
+		senses:         a.senses,
+		programs:       a.programs,
+		eraseOps:       a.eraseOps,
+		mwsOps:         a.mwsOps,
+		latchRounds:    a.latchRounds,
+		fcTransfers:    a.fcTransfers,
+		bytesOut:       a.bytesOut,
+		bytesIn:        a.bytesIn,
+		eccCorrections: a.eccCorrections,
+		eccFailures:    a.eccFailures,
+		eProg:          a.eProg,
+		eErase:         a.eErase,
+	}
+	for idx, d := range a.data {
+		c.data[idx] = d // payloads are replace-on-write; see doc comment
+	}
+	for idx, n := range a.bitErrors {
+		c.bitErrors[idx] = n
+	}
+	for i, b := range a.buffers {
+		c.buffers[i] = &Buffer{Data: b.Data, Valid: b.Valid, Tag: b.Tag}
+	}
+	for _, d := range a.dies {
+		c.dies = append(c.dies, d.Clone())
+	}
+	for _, b := range a.bus {
+		c.bus = append(c.bus, b.Clone())
+	}
+	return c
+}
+
 // Stats reports operation counts for experiment tables.
 func (a *Array) Stats() map[string]int64 {
 	return map[string]int64{

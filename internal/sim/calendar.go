@@ -89,6 +89,13 @@ func (c *Calendar) Reset() {
 	c.busy = 0
 }
 
+// Clone returns an independent copy of the calendar, preserving its
+// horizon and accumulated busy time.
+func (c *Calendar) Clone() *Calendar {
+	cp := *c
+	return &cp
+}
+
 // Group is a pool of identical parallel resources (e.g. the dies behind one
 // channel, the banks of a DRAM rank) with FIFO selection of the earliest
 // available member.
@@ -150,4 +157,13 @@ func (g *Group) Reset() {
 	for _, m := range g.members {
 		m.Reset()
 	}
+}
+
+// Clone returns an independent copy of the group and all its members.
+func (g *Group) Clone() *Group {
+	ng := &Group{name: g.name, members: make([]*Calendar, len(g.members))}
+	for i, m := range g.members {
+		ng.members[i] = m.Clone()
+	}
+	return ng
 }

@@ -98,6 +98,11 @@ type Device struct {
 	counters   *stats.Counters
 	baseline   map[string]int64 // counter values at measurement reset
 	loadedOnce bool
+
+	// consumed marks that Run has executed (and mutated) the loaded data
+	// image. A consumed device refuses further Runs: reload the program or
+	// run on a Clone taken before consumption.
+	consumed bool
 }
 
 // access is one reference to a page in program order.
@@ -266,8 +271,14 @@ func (d *Device) LoadProgram(prog *isa.Program, inputs map[isa.PageID][]byte) er
 
 	d.resetMeasurement()
 	d.loadedOnce = true
+	d.consumed = false
 	return nil
 }
+
+// Consumed reports whether the loaded data image has been consumed by a
+// Run. A consumed device must be reloaded (or replaced by a pristine
+// Clone) before it can run again.
+func (d *Device) Consumed() bool { return d.consumed }
 
 func (d *Device) inputPage(inputs map[isa.PageID][]byte, p isa.PageID) []byte {
 	if data, ok := inputs[p]; ok {

@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"fmt"
+	"sort"
 
 	"conduit/internal/coherence"
 	"conduit/internal/cores"
@@ -111,7 +112,11 @@ func ifpSupported(inst *isa.Inst) bool {
 
 // Run executes the loaded program under policy, returning the measured
 // result. The device must be in computation mode. Each Run consumes the
-// loaded data (execution mutates pages); reload before running again.
+// loaded data image (execution mutates pages, calendars, and coherence
+// state), so a second Run on the same device fails fast: reload the
+// program, or Clone the device before running and keep the original as a
+// pristine snapshot. The returned Result is an immutable value snapshot —
+// nothing the device does afterwards can change it.
 func (d *Device) Run(policy offload.Policy) (*Result, error) {
 	if d.prog == nil {
 		return nil, fmt.Errorf("ssd: no program loaded")
@@ -119,6 +124,14 @@ func (d *Device) Run(policy offload.Policy) (*Result, error) {
 	if d.mode != ModeComputation {
 		return nil, fmt.Errorf("ssd: device is in I/O mode; enter computation mode first (§4.4)")
 	}
+	if d.consumed {
+		return nil, fmt.Errorf("ssd: loaded image already consumed by a previous Run; reload the program or run on a Clone of the post-deploy device")
+	}
+	d.consumed = true
+	// Per-run measurement state starts clean even if an earlier Run
+	// errored out partway.
+	d.decisions = d.decisions[:0]
+	d.instLat = stats.NewReservoir()
 	var overhead sim.Time
 	var elapsed sim.Time
 	var replays int64
@@ -172,9 +185,23 @@ func (d *Device) Run(policy offload.Policy) (*Result, error) {
 			d.faults[inst.ID] = n - 1
 			replays++
 			f.Supported[choice] = false
-			alt := policy.Select(f)
-			if !f.Supported[alt] {
-				alt = isa.ResISP
+			alt := choice
+			if anySupported(f) {
+				alt = policy.Select(f)
+				if !f.Supported[alt] {
+					alt = isa.ResISP
+				}
+			} else {
+				// No other resource supports this op (e.g. division is
+				// ISP-only): the replay re-runs on the same resource.
+				f.Supported[choice] = true
+			}
+			// The replayed choice goes through the same translation-table
+			// validation as the primary path: dispatching an instruction a
+			// resource has no native encoding for is a bug regardless of
+			// which path selected the resource.
+			if _, ok := d.table.Lookup(alt, inst.Op); !ok && inst.Op != isa.OpScalar {
+				return nil, fmt.Errorf("ssd: replay of inst %d: no translation for %v on %v", i, inst.Op, alt)
 			}
 			d.firmware += f.CompLatency[choice] // timeout window
 			choice = alt
@@ -196,7 +223,7 @@ func (d *Device) Run(policy offload.Policy) (*Result, error) {
 	res := &Result{
 		Policy:         policy.Name(),
 		Elapsed:        elapsed,
-		InstLatencies:  d.instLat,
+		InstLatencies:  d.instLat.Clone(),
 		Decisions:      append([]Decision(nil), d.decisions...),
 		ComputeEnergy:  d.En.ComputeTotal(),
 		MovementEnergy: d.En.MovementTotal(),
@@ -207,12 +234,31 @@ func (d *Device) Run(policy offload.Policy) (*Result, error) {
 	return res, nil
 }
 
+// anySupported reports whether any resource can execute the featured
+// instruction.
+func anySupported(f *offload.Features) bool {
+	for _, s := range f.Supported {
+		if s {
+			return true
+		}
+	}
+	return false
+}
+
 // snapshotCounters reports substrate activity since the last measurement
-// reset (excluding program-load provisioning).
+// reset (excluding program-load provisioning). Counters are recorded in
+// sorted key order so results are deterministic run-for-run (map
+// iteration order is not).
 func (d *Device) snapshotCounters() *stats.Counters {
+	raw := d.rawCounters()
+	keys := make([]string, 0, len(raw))
+	for k := range raw {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	c := stats.NewCounters()
-	for k, v := range d.rawCounters() {
-		c.Add(k, v-d.baseline[k])
+	for _, k := range keys {
+		c.Add(k, raw[k]-d.baseline[k])
 	}
 	return c
 }

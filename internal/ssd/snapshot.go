@@ -1,0 +1,79 @@
+package ssd
+
+import (
+	"conduit/internal/isa"
+	"conduit/internal/sim"
+)
+
+// Clone returns an independent deep copy of the device: flash contents and
+// page states, FTL mapping and allocation state (including the mapping
+// cache's exact LRU order), DRAM slots, plane-buffer tags, the coherence
+// directory, calendars, energy account, fault injections, and all
+// measurement state.
+//
+// Clone is the deploy-amortization primitive: deploying a compiled program
+// over the NVMe path (per-page I/O writes, chunked fw-download, fw-commit)
+// costs far more than copying the resulting device state, so a policy
+// sweep deploys once, keeps the post-deploy device as a pristine master,
+// and runs every policy on its own Clone. A clone restored this way
+// behaves byte-identically to a freshly deployed device.
+//
+// The clone shares only immutable state with the original — the
+// configuration, the translation table, the loaded program, and the
+// compiler's liveness metadata, none of which Run mutates — so the clone
+// and the original may be driven concurrently from different goroutines.
+// The Device itself is still single-goroutine: clone once per worker.
+func (d *Device) Clone() *Device {
+	en := d.En.Clone()
+	arr := d.Flash.Clone(en)
+	c := &Device{
+		Cfg:   d.Cfg,
+		En:    en,
+		Flash: arr,
+		DRAM:  d.DRAM.Clone(en),
+		Core:  d.Core.Clone(en),
+		FTL:   d.FTL.Clone(arr),
+
+		mode:  d.mode,
+		prog:  d.prog,  // immutable after LoadProgram
+		table: d.table, // read-only after construction
+
+		dramSlot:  make(map[isa.PageID]int, len(d.dramSlot)),
+		slotOwner: append([]isa.PageID(nil), d.slotOwner...),
+		slotClock: append([]int64(nil), d.slotClock...),
+		clock:     d.clock,
+
+		bufferTag: append([]isa.PageID(nil), d.bufferTag...),
+		pageReady: append([]sim.Time(nil), d.pageReady...),
+
+		accesses: d.accesses, // read-only after LoadProgram
+		output:   d.output,   // read-only after LoadProgram
+
+		firmware:     d.firmware,
+		offloadCores: d.offloadCores.Clone(),
+		ifpCursor:    d.ifpCursor,
+		curInst:      d.curInst,
+
+		faults: make(map[int]int, len(d.faults)),
+
+		decisions:  append([]Decision(nil), d.decisions...),
+		instLat:    d.instLat.Clone(),
+		counters:   d.counters.Clone(),
+		baseline:   make(map[string]int64, len(d.baseline)),
+		loadedOnce: d.loadedOnce,
+		consumed:   d.consumed,
+	}
+	if d.Dir != nil {
+		c.Dir = d.Dir.Clone()
+	}
+	for p, slot := range d.dramSlot {
+		c.dramSlot[p] = slot
+	}
+	for id, n := range d.faults {
+		c.faults[id] = n
+	}
+	for k, v := range d.baseline {
+		c.baseline[k] = v
+	}
+	return c
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"conduit/internal/sim"
 )
@@ -16,7 +17,12 @@ import (
 // percentiles. The evaluated instruction streams are small enough (at most
 // a few hundred thousand samples) that keeping every sample exact is
 // cheaper and more faithful than an approximating sketch.
+//
+// A Reservoir is safe for concurrent use: percentile queries sort lazily,
+// so even read-only-looking accessors mutate internal state — and shared
+// memoized results are read from many sweep goroutines at once.
 type Reservoir struct {
+	mu      sync.Mutex
 	samples []sim.Time
 	sorted  bool
 }
@@ -26,12 +32,18 @@ func NewReservoir() *Reservoir { return &Reservoir{} }
 
 // Add records one sample.
 func (r *Reservoir) Add(v sim.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.samples = append(r.samples, v)
 	r.sorted = false
 }
 
 // Count reports the number of samples.
-func (r *Reservoir) Count() int { return len(r.samples) }
+func (r *Reservoir) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
 
 func (r *Reservoir) sortIfNeeded() {
 	if !r.sorted {
@@ -43,11 +55,13 @@ func (r *Reservoir) sortIfNeeded() {
 // Percentile returns the p'th percentile (0 <= p <= 100) using the
 // nearest-rank method. It returns 0 for an empty reservoir.
 func (r *Reservoir) Percentile(p float64) sim.Time {
-	if len(r.samples) == 0 {
-		return 0
-	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
 	}
 	r.sortIfNeeded()
 	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
@@ -68,6 +82,8 @@ func (r *Reservoir) P9999() sim.Time { return r.Percentile(99.99) }
 
 // Max returns the largest sample (0 if empty).
 func (r *Reservoir) Max() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -75,8 +91,11 @@ func (r *Reservoir) Max() sim.Time {
 	return r.samples[len(r.samples)-1]
 }
 
-// Mean returns the arithmetic mean (0 if empty).
+// Mean returns the arithmetic mean rounded to the nearest unit (0 if
+// empty). Samples are non-negative times, so half-up rounding suffices.
 func (r *Reservoir) Mean() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -84,11 +103,26 @@ func (r *Reservoir) Mean() sim.Time {
 	for _, s := range r.samples {
 		sum += int64(s)
 	}
-	return sim.Time(sum / int64(len(r.samples)))
+	n := int64(len(r.samples))
+	return sim.Time((sum + n/2) / n)
+}
+
+// Clone returns an independent copy of the reservoir. Results handed out
+// by the harness hold cloned reservoirs so later device activity cannot
+// mutate them.
+func (r *Reservoir) Clone() *Reservoir {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Reservoir{
+		samples: append([]sim.Time(nil), r.samples...),
+		sorted:  r.sorted,
+	}
 }
 
 // Sum returns the total of all samples.
 func (r *Reservoir) Sum() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var sum sim.Time
 	for _, s := range r.samples {
 		sum += s
@@ -117,6 +151,18 @@ func (c *Counters) Add(name string, delta int64) {
 
 // Get reports the value of name (0 if never added).
 func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Clone returns an independent copy of the counter set.
+func (c *Counters) Clone() *Counters {
+	out := &Counters{
+		m:     make(map[string]int64, len(c.m)),
+		order: append([]string(nil), c.order...),
+	}
+	for k, v := range c.m {
+		out.m[k] = v
+	}
+	return out
+}
 
 // Names returns counter names in first-use order.
 func (c *Counters) Names() []string {

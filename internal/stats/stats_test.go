@@ -27,11 +27,53 @@ func TestReservoirPercentiles(t *testing.T) {
 	if got := r.Max(); got != 100 {
 		t.Errorf("max = %v, want 100", got)
 	}
-	if got := r.Mean(); got != 50 {
-		t.Errorf("mean = %v, want 50", got)
+	if got := r.Mean(); got != 51 {
+		// Exact mean is 50.5; Mean rounds to nearest, not down.
+		t.Errorf("mean = %v, want 51", got)
 	}
 	if got := r.Sum(); got != 5050 {
 		t.Errorf("sum = %v, want 5050", got)
+	}
+}
+
+// TestReservoirMeanRounds locks in round-to-nearest semantics: the old
+// integer division truncated (e.g. mean of {1, 2} reported 1).
+func TestReservoirMeanRounds(t *testing.T) {
+	cases := []struct {
+		samples []sim.Time
+		want    sim.Time
+	}{
+		{[]sim.Time{1, 2}, 2},          // 1.5 rounds up
+		{[]sim.Time{1, 1, 2}, 1},       // 1.33 rounds down
+		{[]sim.Time{2, 2, 3}, 2},       // 2.33 rounds down
+		{[]sim.Time{0, 0, 0, 1}, 0},    // 0.25 rounds down
+		{[]sim.Time{0, 1, 1, 1}, 1},    // 0.75 rounds up
+		{[]sim.Time{10, 20, 30}, 20},   // exact
+		{[]sim.Time{999, 1000, 1}, 667}, // 666.67 rounds up
+	}
+	for _, tc := range cases {
+		r := NewReservoir()
+		for _, s := range tc.samples {
+			r.Add(s)
+		}
+		if got := r.Mean(); got != tc.want {
+			t.Errorf("Mean(%v) = %v, want %v", tc.samples, got, tc.want)
+		}
+	}
+}
+
+func TestReservoirCloneIsIndependent(t *testing.T) {
+	r := NewReservoir()
+	r.Add(10)
+	r.Add(20)
+	c := r.Clone()
+	r.Add(1000)
+	if c.Count() != 2 || c.Max() != 20 {
+		t.Fatalf("clone saw later samples: count=%d max=%v", c.Count(), c.Max())
+	}
+	c.Add(5)
+	if r.Count() != 3 {
+		t.Fatalf("original saw clone's samples: count=%d", r.Count())
 	}
 }
 
