@@ -1,0 +1,172 @@
+// Command conduit-serve runs the pooled, batched request-serving engine
+// against a built-in closed-loop load generator and prints a per-tenant
+// throughput/latency report.
+//
+// Each of -clients goroutines draws (workload, policy) pairs from the
+// requested mix with a deterministic per-client RNG and issues requests
+// back-to-back until -duration elapses; the server multiplexes them over
+// pool-managed Deployment forks (one NVMe deploy per workload, ever),
+// optionally coalescing identical in-flight requests. On completion the
+// server drains gracefully and reports per-tenant and per-pool statistics.
+//
+// Usage:
+//
+//	conduit-serve -clients 32 -duration 2s
+//	conduit-serve -clients 64 -duration 5s -mix aes,jacobi-1d -policies Conduit,BW-Offloading
+//	conduit-serve -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	conduit "conduit"
+	"conduit/internal/sim"
+	"conduit/internal/stats"
+	"conduit/internal/workloads"
+)
+
+func main() {
+	clients := flag.Int("clients", 32, "closed-loop client goroutines")
+	duration := flag.Duration("duration", 2*time.Second, "load-generation window")
+	mix := flag.String("mix", "all", `comma-separated workload mix, or "all" for the evaluation suite`)
+	policies := flag.String("policies", "Conduit", "comma-separated policy mix each client draws from")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	concurrency := flag.Int("concurrency", 0, "simultaneously executing requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission-queue depth (0 = 4x concurrency)")
+	prefork := flag.Int("prefork", 2, "pre-forked devices per application (0 disables pooling)")
+	tenants := flag.Int("tenants", 4, "tenants the clients round-robin across")
+	coalesce := flag.Bool("coalesce", true, "share one execution among identical in-flight requests")
+	memoize := flag.Bool("memoize", false, "cache each (workload, policy) result for the whole run")
+	seed := flag.Uint64("seed", 1, "load-generator RNG seed")
+	list := flag.Bool("list", false, "list workloads and policies, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range workloads.All(1) {
+			fmt.Printf("  %-18s (%s)\n", workloads.Canonical(w.Name), w.Name)
+		}
+		fmt.Println("policies:  ", strings.Join(conduit.Policies(), ", "))
+		fmt.Println("ablations: ", strings.Join(conduit.AblationPolicies(), ", "))
+		return
+	}
+	if *tenants < 1 {
+		*tenants = 1
+	}
+
+	// Resolve the workload mix against the evaluation suite.
+	var chosen []workloads.Named
+	if *mix == "all" {
+		chosen = workloads.All(*scale)
+	} else {
+		seen := make(map[string]bool)
+		for _, name := range strings.Split(*mix, ",") {
+			w, ok := workloads.Find(strings.TrimSpace(name), *scale)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "conduit-serve: unknown workload %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			if seen[w.Name] {
+				continue
+			}
+			seen[w.Name] = true
+			chosen = append(chosen, w)
+		}
+	}
+
+	// Validate the policy mix up front so a typo fails fast, not per
+	// request mid-run.
+	polMix := strings.Split(*policies, ",")
+	for i, p := range polMix {
+		polMix[i] = strings.TrimSpace(p)
+		if !conduit.KnownPolicy(polMix[i]) {
+			fmt.Fprintf(os.Stderr, "conduit-serve: unknown policy %q (try -list)\n", polMix[i])
+			os.Exit(2)
+		}
+	}
+
+	srv := conduit.NewServer(conduit.DefaultConfig(), conduit.ServeOptions{
+		Concurrency: *concurrency,
+		QueueDepth:  *queue,
+		Prefork:     *prefork,
+		Coalesce:    *coalesce,
+		Memoize:     *memoize,
+	})
+	fmt.Printf("registering %d workload(s) at scale %d ...\n", len(chosen), *scale)
+	deployStart := time.Now()
+	for _, w := range chosen {
+		if err := srv.Register(w.Name, w.Source); err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-serve: register %s: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("deployed in %v; serving %d clients for %v (policies: %s)\n",
+		time.Since(deployStart).Round(time.Millisecond), *clients, *duration, strings.Join(polMix, ", "))
+
+	var served, failed int64
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := sim.NewRNG(*seed + uint64(id)*0x9e3779b9)
+			tenant := fmt.Sprintf("tenant-%02d", id%*tenants)
+			for time.Now().Before(deadline) {
+				req := conduit.Request{
+					Tenant:   tenant,
+					Workload: chosen[rng.Intn(len(chosen))].Name,
+					Policy:   polMix[rng.Intn(len(polMix))],
+				}
+				if _, err := srv.Do(req); err != nil {
+					atomic.AddInt64(&failed, 1)
+				} else {
+					atomic.AddInt64(&served, 1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	srv.Drain()
+
+	fmt.Println()
+	srv.Report().Render(os.Stdout)
+	fmt.Println()
+
+	pools := srv.PoolStats()
+	names := make([]string, 0, len(pools))
+	for name := range pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pt := stats.NewTable("device pools (pre-forked Deployment clones)",
+		"application", "preforked", "pool_hits", "inline_clones", "idle")
+	for _, name := range names {
+		ps := pools[name]
+		pt.AddRowf(name, ps.Preforked, ps.Hits, ps.Misses, ps.Idle)
+	}
+	if len(names) > 0 {
+		pt.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	st := stats.NewTable("load summary", "metric", "value")
+	st.AddRowf("clients", *clients)
+	st.AddRowf("wall_time", elapsed.Round(time.Millisecond).String())
+	st.AddRowf("requests_served", served)
+	st.AddRowf("requests_failed", failed)
+	st.AddRowf("throughput_req_per_s", float64(served)/elapsed.Seconds())
+	st.Render(os.Stdout)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

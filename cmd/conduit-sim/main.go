@@ -29,23 +29,19 @@ func main() {
 	if *list {
 		fmt.Println("workloads:")
 		for _, w := range workloads.All(1) {
-			fmt.Printf("  %-18s (%s)\n", canonical(w.Name), w.Name)
+			fmt.Printf("  %-18s (%s)\n", workloads.Canonical(w.Name), w.Name)
 		}
 		fmt.Println("policies: ", strings.Join(conduit.Policies(), ", "))
+		fmt.Println("ablations:", strings.Join(conduit.AblationPolicies(), ", "))
 		return
 	}
 
-	var src *conduit.Source
-	for _, w := range workloads.All(*scale) {
-		if canonical(w.Name) == canonical(*workload) {
-			src = w.Source
-			break
-		}
-	}
-	if src == nil {
+	w, ok := workloads.Find(*workload, *scale)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "conduit-sim: unknown workload %q (try -list)\n", *workload)
 		os.Exit(2)
 	}
+	src := w.Source
 
 	cfg := conduit.DefaultConfig()
 	sys := conduit.NewSystem(cfg)
@@ -78,12 +74,6 @@ func main() {
 	t.AddRowf("p99_latency", res.InstLatencies.P99())
 	t.AddRowf("p99.99_latency", res.InstLatencies.P9999())
 	t.Render(os.Stdout)
-}
-
-func canonical(s string) string {
-	s = strings.ToLower(s)
-	s = strings.ReplaceAll(s, " ", "-")
-	return s
 }
 
 func nonzero(f float64) float64 {

@@ -43,10 +43,25 @@
 // Experiments.RunGrid sweep engine builds on this contract to execute a
 // workload x policy grid across a worker pool with results byte-identical
 // to the serial path.
+//
+// # Serving
+//
+// Above the one-shot API sits a request-serving layer for sustained
+// traffic: a Server registers applications (compile + deploy once each),
+// attaches a DevicePool of pre-forked clones per deployment so the
+// serving hot path never pays the copy inline, and dispatches concurrent
+// multi-tenant requests through the internal/serve engine — admission
+// queue, bounded concurrency, optional batching of identical in-flight
+// requests, per-tenant latency/energy accounting, and graceful drain.
+// cmd/conduit-serve wraps it in a closed-loop load generator. Because
+// every run is a deterministic function of (workload, policy), served
+// responses are byte-identical to a serial loop over the same requests.
 package conduit
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"conduit/internal/compiler"
 	"conduit/internal/config"
@@ -127,39 +142,85 @@ func Compile(src *Source, cfg *Config) (*Compiled, error) {
 	return compiler.Compile(src, cfg.SSD.PageSize)
 }
 
-// Policies lists every evaluated execution policy, in the order the
-// paper's figures present them.
-func Policies() []string {
-	return []string{"CPU", "GPU", "ISP", "PuD-SSD", "Flash-Cosmos", "Ares-Flash",
-		"BW-Offloading", "DM-Offloading", "Conduit", "Ideal"}
+// policyEntry couples a policy name with its in-SSD implementation
+// constructor; device is nil for the host and ideal runners, which the
+// Run switches handle directly. policyTable is the single source of
+// policy-name truth: Policies, AblationPolicies, KnownPolicy,
+// devicePolicy, and errUnknownPolicy all derive from it, so a policy
+// added here is advertised, validated, and constructible everywhere at
+// once.
+type policyEntry struct {
+	name     string
+	ablation bool
+	device   func() offload.Policy
 }
 
-// devicePolicy returns the in-SSD policy implementation by name, or nil
-// for host/ideal runners.
+var policyTable = []policyEntry{
+	// Main lineup, in the order the paper's figures present it.
+	{name: "CPU"},
+	{name: "GPU"},
+	{name: "ISP", device: func() offload.Policy { return offload.ISPOnly{} }},
+	{name: "PuD-SSD", device: func() offload.Policy { return offload.PuDSSD{} }},
+	{name: "Flash-Cosmos", device: func() offload.Policy { return offload.FlashCosmos{} }},
+	{name: "Ares-Flash", device: func() offload.Policy { return offload.AresFlash{} }},
+	{name: "BW-Offloading", device: func() offload.Policy { return offload.BWOffloading{} }},
+	{name: "DM-Offloading", device: func() offload.Policy { return offload.DMOffloading{} }},
+	{name: "Conduit", device: func() offload.Policy { return offload.Conduit{} }},
+	{name: "Ideal"},
+	// Ablations and combinations: the naive IFP+ISP of the §3.1 case
+	// study, and Conduit with one cost-function term removed (the
+	// AblationCostFeatures experiment).
+	{name: "IFP+ISP", ablation: true, device: func() offload.Policy { return &offload.NaiveCombo{} }},
+	{name: "Conduit-noqueue", ablation: true, device: func() offload.Policy { return offload.Ablated{DropQueue: true} }},
+	{name: "Conduit-nodep", ablation: true, device: func() offload.Policy { return offload.Ablated{DropDep: true} }},
+	{name: "Conduit-nomove", ablation: true, device: func() offload.Policy { return offload.Ablated{DropMove: true} }},
+}
+
+func policyNames(ablation bool) []string {
+	var out []string
+	for _, e := range policyTable {
+		if e.ablation == ablation {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// Policies lists every evaluated execution policy, in the order the
+// paper's figures present them. The ablation and combination policies the
+// evaluation additionally exercises are listed by AblationPolicies; both
+// sets are accepted wherever a policy name is taken.
+func Policies() []string { return policyNames(false) }
+
+// AblationPolicies lists the ablation and combination policies the
+// evaluation uses beyond the main lineup.
+func AblationPolicies() []string { return policyNames(true) }
+
+// KnownPolicy reports whether name is accepted by the Run methods —
+// a member of Policies or AblationPolicies.
+func KnownPolicy(name string) bool {
+	for _, e := range policyTable {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// errUnknownPolicy is the uniform rejection for a policy name neither
+// Policies nor AblationPolicies knows.
+func errUnknownPolicy(name string) error {
+	return fmt.Errorf("conduit: unknown policy %q (valid: %s; ablations: %s)",
+		name, strings.Join(Policies(), ", "), strings.Join(AblationPolicies(), ", "))
+}
+
+// devicePolicy returns a fresh in-SSD policy instance by name, or nil for
+// host/ideal runners and unknown names.
 func devicePolicy(name string) offload.Policy {
-	switch name {
-	case "Conduit":
-		return offload.Conduit{}
-	case "DM-Offloading":
-		return offload.DMOffloading{}
-	case "BW-Offloading":
-		return offload.BWOffloading{}
-	case "ISP":
-		return offload.ISPOnly{}
-	case "PuD-SSD":
-		return offload.PuDSSD{}
-	case "Flash-Cosmos":
-		return offload.FlashCosmos{}
-	case "Ares-Flash":
-		return offload.AresFlash{}
-	case "IFP+ISP":
-		return &offload.NaiveCombo{}
-	case "Conduit-noqueue":
-		return offload.Ablated{DropQueue: true}
-	case "Conduit-nodep":
-		return offload.Ablated{DropDep: true}
-	case "Conduit-nomove":
-		return offload.Ablated{DropMove: true}
+	for _, e := range policyTable {
+		if e.name == name && e.device != nil {
+			return e.device()
+		}
 	}
 	return nil
 }
@@ -221,9 +282,8 @@ func (s *System) RunCompiled(c *Compiled, policy string) (*RunResult, error) {
 		}
 		return runIdealOn(dev)
 	default:
-		pol := devicePolicy(policy)
-		if pol == nil {
-			return nil, fmt.Errorf("conduit: unknown policy %q (see Policies())", policy)
+		if devicePolicy(policy) == nil {
+			return nil, errUnknownPolicy(policy)
 		}
 		dev, err := s.deploy(c)
 		if err != nil {
@@ -275,7 +335,7 @@ func runIdealOn(dev *ssd.Device) (*RunResult, error) {
 func runPolicyOn(dev *ssd.Device, policy string) (*RunResult, error) {
 	pol := devicePolicy(policy)
 	if pol == nil {
-		return nil, fmt.Errorf("conduit: unknown policy %q (see Policies())", policy)
+		return nil, errUnknownPolicy(policy)
 	}
 	dev.EnterComputationMode()
 	res, err := dev.Run(pol)
@@ -306,6 +366,9 @@ type Deployment struct {
 	sys    *System
 	c      *Compiled
 	master *ssd.Device // pristine post-deploy image; never executed
+
+	poolMu sync.Mutex
+	pool   *DevicePool // optional prefork pool (see Prefork); nil = clone inline
 }
 
 // Deploy compiles nothing and runs nothing: it installs the already
@@ -324,8 +387,19 @@ func (d *Deployment) Compiled() *Compiled { return d.c }
 
 // Fork returns a fresh device restored to the post-deploy state. The
 // caller owns the returned device exclusively; the pristine master is
-// never handed out.
-func (d *Deployment) Fork() *ssd.Device { return d.master.Clone() }
+// never handed out. With a prefork pool attached (Prefork), the fork is
+// served from the pool's buffer of ready clones; otherwise — and whenever
+// the buffer is empty — it is cloned inline. Either way the device is
+// byte-identical.
+func (d *Deployment) Fork() *ssd.Device {
+	d.poolMu.Lock()
+	p := d.pool
+	d.poolMu.Unlock()
+	if p != nil {
+		return p.Get()
+	}
+	return d.master.Clone()
+}
 
 // Run executes the deployed program under the named policy on a restored
 // post-deploy device (host baselines need no device and use the compiled
@@ -339,7 +413,7 @@ func (d *Deployment) Run(policy string) (*RunResult, error) {
 	default:
 		// Reject unknown policies before paying for the device clone.
 		if devicePolicy(policy) == nil {
-			return nil, fmt.Errorf("conduit: unknown policy %q (see Policies())", policy)
+			return nil, errUnknownPolicy(policy)
 		}
 		return runPolicyOn(d.Fork(), policy)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"conduit/internal/compiler"
 	"conduit/internal/isa"
+	"conduit/internal/serve"
 	"conduit/internal/stats"
 	"conduit/internal/workloads"
 )
@@ -25,9 +26,12 @@ type Experiments struct {
 	scale   int
 	workers int
 
-	compiles flightGroup // workload -> *Compiled
-	deploys  flightGroup // workload -> *Deployment
-	runs     flightGroup // workload|policy -> *RunResult
+	// Memoization shares the serving layer's singleflight machinery
+	// (internal/serve): concurrent callers of one cell share a single
+	// execution and successes are cached for the harness lifetime.
+	compiles serve.FlightGroup // workload -> *Compiled
+	deploys  serve.FlightGroup // workload -> *Deployment
+	runs     serve.FlightGroup // workload|policy -> *RunResult
 }
 
 // NewExperiments builds a harness at the given workload scale factor
@@ -62,7 +66,7 @@ func (e *Experiments) Workloads() []string {
 }
 
 func (e *Experiments) compiled(workload string) (*Compiled, error) {
-	v, err := e.compiles.do(workload, func() (interface{}, error) {
+	v, _, err := e.compiles.Do(workload, func() (interface{}, error) {
 		for _, w := range workloads.All(e.scale) {
 			if w.Name == workload {
 				return Compile(w.Source, &e.sys.cfg)
@@ -79,7 +83,7 @@ func (e *Experiments) compiled(workload string) (*Compiled, error) {
 // deployment returns workload's reusable post-deploy image, deploying at
 // most once per workload.
 func (e *Experiments) deployment(workload string) (*Deployment, error) {
-	v, err := e.deploys.do(workload, func() (interface{}, error) {
+	v, _, err := e.deploys.Do(workload, func() (interface{}, error) {
 		c, err := e.compiled(workload)
 		if err != nil {
 			return nil, err
@@ -95,7 +99,7 @@ func (e *Experiments) deployment(workload string) (*Deployment, error) {
 // Run executes (workload, policy), memoized. Concurrent callers of the
 // same cell share one execution; distinct cells run independently.
 func (e *Experiments) Run(workload, policy string) (*RunResult, error) {
-	v, err := e.runs.do(workload+"|"+policy, func() (interface{}, error) {
+	v, _, err := e.runs.Do(workload+"|"+policy, func() (interface{}, error) {
 		var r *RunResult
 		var err error
 		switch policy {
@@ -164,55 +168,6 @@ func (e *Experiments) RunGrid(workloads, policies []string) ([][]*RunResult, err
 		}
 	}
 	return out, nil
-}
-
-// flightGroup memoizes keyed computations with singleflight semantics:
-// concurrent callers of one key share a single execution, successes are
-// cached forever, failures are not cached (a later caller retries).
-type flightGroup struct {
-	mu    sync.Mutex
-	calls map[string]*flightCall
-}
-
-type flightCall struct {
-	done chan struct{}
-	val  interface{}
-	err  error
-}
-
-func (g *flightGroup) do(key string, fn func() (interface{}, error)) (interface{}, error) {
-	g.mu.Lock()
-	if g.calls == nil {
-		g.calls = make(map[string]*flightCall)
-	}
-	if c, ok := g.calls[key]; ok {
-		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err
-	}
-	c := &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
-	g.mu.Unlock()
-
-	// A panicking fn must not poison the key: waiters blocked on c.done
-	// would hang forever and every later caller would join them. Record
-	// the panic as the call's error, unblock everyone, then re-panic so
-	// the executing caller still fails loudly.
-	finished := false
-	defer func() {
-		if !finished {
-			c.err = fmt.Errorf("conduit: sweep cell %q panicked", key)
-		}
-		if c.err != nil {
-			g.mu.Lock()
-			delete(g.calls, key)
-			g.mu.Unlock()
-		}
-		close(c.done)
-	}()
-	c.val, c.err = fn()
-	finished = true
-	return c.val, c.err
 }
 
 // Speedup reports workload's speedup under policy, normalized to CPU.

@@ -1,9 +1,3 @@
-// Package config holds every parameter of the simulated system: the SSD
-// geometry and timing/energy constants of Table 2 of the paper, the host
-// CPU/GPU models, and the runtime-overhead constants of §4.5.
-//
-// Experiments construct a Config once (usually via Default) and thread it
-// through every model; nothing in the simulator reads global state.
 package config
 
 import (

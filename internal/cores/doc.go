@@ -1,0 +1,11 @@
+// Package cores models the SSD controller's embedded processors: five ARM
+// Cortex-R8 class cores at 1.5 GHz (Table 2). One core executes offloaded
+// computation through the M-Profile Vector Extension (MVE) with a 32-byte
+// datapath — the in-storage processing (ISP) resource; the paper reserves
+// the remaining cores for FTL functions, host communication, and Conduit's
+// offloading and instruction transformation (§4.3.2 footnote 3).
+//
+// ISP's defining limitation — narrow SIMD — falls directly out of the
+// datapath width: a 16 KiB page takes 512 MVE beats, so page-sized vector
+// work is orders of magnitude less parallel than PuD or IFP.
+package cores

@@ -1,0 +1,11 @@
+// Package dram models the SSD-internal DRAM as a processing-using-DRAM
+// (PuD-SSD) substrate: an LPDDR4-1866 module whose banks execute bulk
+// bitwise operations by charge sharing (Ambit-style triple-row activation)
+// and bit-serial arithmetic built on them (SIMDRAM/MIMDRAM/Proteus — the
+// frameworks the paper adopts for PuD-SSD, §4.3.2).
+//
+// Data lives in page-sized slots striped across the banks. The model is
+// functional: slots hold real bytes and every operation computes real
+// results. Bit-transposition of operands (required by bit-serial
+// execution) is folded into the flash->DRAM DMA path, following Proteus.
+package dram

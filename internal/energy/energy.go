@@ -1,10 +1,3 @@
-// Package energy accumulates the energy consumption of the simulated
-// system, split into computation energy and data-movement energy — the two
-// components of each bar in Fig. 7(b) of the paper.
-//
-// Every substrate (NAND, DRAM, controller cores, host, interconnects)
-// records into a shared Account; the experiment harness reads totals and
-// the movement/compute breakdown.
 package energy
 
 import "sort"

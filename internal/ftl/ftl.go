@@ -1,8 +1,3 @@
-// Package ftl implements the flash translation layer of the simulated SSD:
-// page-level logical-to-physical (L2P) mapping with a DFTL-style demand
-// mapping cache, greedy garbage collection, wear-aware block allocation,
-// and the NDP-aware placement the paper's runtime relies on (§4.4) — e.g.
-// co-locating the operands of an in-flash AND in one physical block.
 package ftl
 
 import (

@@ -1,0 +1,14 @@
+// Package host models outside-storage processing (OSP): executing the
+// workload on the host CPU or GPU with operands streamed from the SSD over
+// the NVMe/PCIe link. The paper evaluates the hosts on real hardware
+// combined with simulated SSD-to-host transfers (§5.3); we substitute
+// calibrated roofline models of the same machines (Xeon Gold 5118,
+// NVIDIA A100) fed by the same instruction stream — see DESIGN.md.
+//
+// Per instruction, execution time is the roofline maximum of three terms:
+// PCIe transfer of non-resident operands, host-memory traffic, and compute
+// throughput. A host-side page cache models data reuse; its capacity is
+// half the workload footprint, per the paper's workload sizing ("the
+// memory footprint of each workload exceeds the [memory] capacity by 2x",
+// §5.4), which is what keeps OSP data-movement-bound.
+package host

@@ -1,10 +1,3 @@
-// Package isa defines Conduit's vector intermediate representation: the
-// page-aligned SIMD instructions that the compile-time pass emits (§4.3.1)
-// and the runtime offloader schedules (§4.3.2), together with the
-// capability matrix of the three SSD computation resources and the
-// instruction transformation tables that map each vector operation to the
-// native ISA of its target resource (MVE for ISP, bbop for PuD-SSD,
-// MWS/shift-and-add for IFP).
 package isa
 
 import "fmt"

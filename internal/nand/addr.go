@@ -1,13 +1,3 @@
-// Package nand models the NAND flash subsystem of the simulated SSD: the
-// channel/die/plane/block/page hierarchy, SLC-mode read/program/erase
-// timing, the per-channel shared bus, and the in-flash processing (IFP)
-// primitives the paper builds on — Flash-Cosmos multi-wordline sensing for
-// bulk bitwise AND/OR, latch-based XOR, and Ares-Flash shift-and-add
-// integer arithmetic in the page-buffer latches.
-//
-// The model is functional as well as timed: pages carry real bytes and
-// every primitive computes real results, so higher layers can verify that
-// offloaded execution is semantically correct.
 package nand
 
 import (

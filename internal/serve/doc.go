@@ -1,0 +1,21 @@
+// Package serve is the request-serving engine that turns the one-shot
+// experiment harness into a multi-tenant service: it multiplexes many
+// concurrent offload requests over a bounded pool of executing workers,
+// coalesces identical in-flight requests onto one backend execution, keeps
+// per-tenant latency/energy accounts, and drains gracefully on shutdown.
+//
+// The package is deliberately backend-agnostic — an Engine drives any
+// Runner that can execute one (workload, policy) cell — so the same
+// machinery serves the simulated Conduit SSD today and could front a
+// different device model tomorrow. The root conduit package provides the
+// typed facade (conduit.Server) that wires an Engine to pooled
+// Deployment forks; cmd/conduit-serve adds a closed-loop load generator
+// on top.
+//
+// Determinism contract: the simulator is a deterministic function of
+// (workload, policy), so coalescing or memoizing cells is observationally
+// identical to running each request on its own fork — responses are
+// byte-identical to a serial loop. The engine's own accounting (wall-clock
+// queueing and service latency) is operational telemetry and naturally
+// varies run to run.
+package serve

@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"conduit/internal/sim"
+	"conduit/internal/stats"
+)
+
+// Request names one offload execution issued on behalf of a tenant.
+type Request struct {
+	// Tenant is the accounting principal the request is billed to.
+	Tenant string
+	// Workload names a registered application.
+	Workload string
+	// Policy is the execution policy (see conduit.Policies and
+	// conduit.AblationPolicies).
+	Policy string
+}
+
+// key is the batching identity: requests with equal keys compute the same
+// deterministic result and may share one execution.
+func (r Request) key() string { return r.Workload + "|" + r.Policy }
+
+// Outcome is the backend's product for one executed (workload, policy)
+// cell. It carries the simulated cost alongside the opaque result so the
+// engine can keep energy/latency accounts without depending on the
+// backend's result type.
+type Outcome struct {
+	// Value is the backend result (the conduit facade stores a
+	// *conduit.RunResult here).
+	Value interface{}
+	// Elapsed is the simulated execution time of the cell.
+	Elapsed sim.Time
+	// EnergyJ is the cell's total consumed energy in joules.
+	EnergyJ float64
+}
+
+// Runner executes one (workload, policy) cell. Implementations must be
+// safe for concurrent use; the engine calls RunCell from many workers.
+type Runner interface {
+	RunCell(workload, policy string) (Outcome, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(workload, policy string) (Outcome, error)
+
+// RunCell implements Runner.
+func (f RunnerFunc) RunCell(workload, policy string) (Outcome, error) {
+	return f(workload, policy)
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Concurrency bounds the number of simultaneously executing
+	// requests; < 1 selects GOMAXPROCS.
+	Concurrency int
+	// QueueDepth is the admission-queue capacity; < 1 selects
+	// 4 x Concurrency. When the queue is full, Do blocks for space
+	// (closed-loop admission) rather than rejecting.
+	QueueDepth int
+	// Coalesce shares one backend execution among requests for the same
+	// (workload, policy) that are in flight at the same time. Because the
+	// backend is deterministic this is observationally identical to a
+	// private execution per request.
+	Coalesce bool
+	// Memoize caches cell results for the lifetime of the engine, so at
+	// most one execution per distinct (workload, policy) ever runs. It
+	// subsumes Coalesce.
+	Memoize bool
+}
+
+// Response is the served result of one request.
+type Response struct {
+	Request Request
+	Outcome Outcome
+	// Err is the backend error, if the cell failed.
+	Err error
+	// Queued is the wall-clock time spent waiting in the admission queue.
+	Queued time.Duration
+	// Latency is the wall-clock time from submission to completion.
+	Latency time.Duration
+	// Shared marks a response served by an execution (or memoized result)
+	// that another request started.
+	Shared bool
+}
+
+// ErrDraining is returned by Do once Drain has begun.
+var ErrDraining = errors.New("serve: engine is draining")
+
+// Engine multiplexes concurrent requests over a bounded worker set with
+// optional same-cell batching and per-tenant accounting. All methods are
+// safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	runner Runner
+
+	queue   chan *pending
+	workers sync.WaitGroup
+
+	admit   sync.Mutex // guards closed; admitWG.Add races with Drain
+	closed  bool
+	admitWG sync.WaitGroup // Do calls between admission and completion
+
+	flight FlightGroup
+
+	acct    sync.Mutex
+	tenants map[string]*tenantAccount
+	all     tenantAccount
+}
+
+type pending struct {
+	req       Request
+	submitted time.Time
+	resp      Response
+	done      chan struct{}
+}
+
+// tenantAccount attributes served work to a tenant. Simulated time and
+// energy are billed per response — a shared (coalesced/memoized) response
+// bills the full cell cost to every tenant that received it, so the
+// columns read as attributed demand, not device-side consumption; the
+// shared count times the per-cell cost is the saving batching bought.
+type tenantAccount struct {
+	requests int64
+	errors   int64
+	shared   int64
+	wall     *stats.Reservoir // wall-clock latency samples, ns
+	sim      sim.Time         // simulated time attributed to the tenant
+	energyJ  float64          // simulated energy attributed to the tenant
+}
+
+// NewEngine starts an engine with cfg.Concurrency workers draining the
+// admission queue. Callers must Drain it when done.
+func NewEngine(r Runner, cfg Config) *Engine {
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 4 * cfg.Concurrency
+	}
+	e := &Engine{
+		cfg:     cfg,
+		runner:  r,
+		queue:   make(chan *pending, cfg.QueueDepth),
+		tenants: make(map[string]*tenantAccount),
+	}
+	e.all.wall = stats.NewReservoir()
+	for i := 0; i < cfg.Concurrency; i++ {
+		e.workers.Add(1)
+		go func() {
+			defer e.workers.Done()
+			for p := range e.queue {
+				e.serveOne(p)
+			}
+		}()
+	}
+	return e
+}
+
+// Do submits req and blocks until it is served — the closed-loop client
+// primitive. The returned error is ErrDraining if admission is closed,
+// otherwise it equals Response.Err (the response carries timing and
+// accounting detail either way).
+func (e *Engine) Do(req Request) (*Response, error) {
+	p := &pending{req: req, submitted: time.Now(), done: make(chan struct{})}
+	e.admit.Lock()
+	if e.closed {
+		e.admit.Unlock()
+		return nil, ErrDraining
+	}
+	e.admitWG.Add(1)
+	e.admit.Unlock()
+	defer e.admitWG.Done()
+	e.queue <- p
+	<-p.done
+	p.resp.Request = req
+	return &p.resp, p.resp.Err
+}
+
+// serveOne executes one admitted request on the calling worker. A
+// panicking backend is contained: the request fails with an error instead
+// of crashing the serving process, and the worker keeps serving.
+//
+// Under Coalesce/Memoize a joined request does not hold its worker while
+// the in-flight execution finishes — the wait moves to a goroutine and
+// the slot immediately serves other queued cells, so batching frees
+// capacity instead of head-of-line blocking distinct cells behind a hot
+// one.
+func (e *Engine) serveOne(p *pending) {
+	start := time.Now()
+	p.resp.Queued = start.Sub(p.submitted)
+	exec := func() (v interface{}, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: %s under %s panicked: %v",
+					p.req.Workload, p.req.Policy, r)
+			}
+		}()
+		out, err := e.runner.RunCell(p.req.Workload, p.req.Policy)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if !e.cfg.Memoize && !e.cfg.Coalesce {
+		v, err := exec()
+		e.finish(p, v, err, false)
+		return
+	}
+	key := p.req.key()
+	c, leader := e.flight.begin(key)
+	if !leader {
+		select {
+		case <-c.done:
+			// Already complete (memoized hit): serve inline, no goroutine.
+			e.finish(p, c.val, c.err, true)
+		default:
+			go func() {
+				<-c.done
+				e.finish(p, c.val, c.err, true)
+			}()
+		}
+		return
+	}
+	v, err := exec()
+	e.flight.complete(key, c, v, err, !e.cfg.Memoize)
+	e.finish(p, v, err, false)
+}
+
+// finish completes a request: record the outcome, account it, and release
+// the blocked Do.
+func (e *Engine) finish(p *pending, v interface{}, err error, shared bool) {
+	if err == nil {
+		p.resp.Outcome = v.(Outcome)
+	}
+	p.resp.Err = err
+	p.resp.Shared = shared
+	p.resp.Latency = time.Since(p.submitted)
+	e.account(&p.resp, p.req.Tenant)
+	close(p.done)
+}
+
+func (e *Engine) account(r *Response, tenant string) {
+	e.acct.Lock()
+	defer e.acct.Unlock()
+	t := e.tenants[tenant]
+	if t == nil {
+		t = &tenantAccount{wall: stats.NewReservoir()}
+		e.tenants[tenant] = t
+	}
+	for _, a := range [...]*tenantAccount{t, &e.all} {
+		a.requests++
+		a.wall.Add(sim.Time(r.Latency.Nanoseconds()))
+		if r.Err != nil {
+			a.errors++
+			continue
+		}
+		if r.Shared {
+			a.shared++
+		}
+		a.sim += r.Outcome.Elapsed
+		a.energyJ += r.Outcome.EnergyJ
+	}
+}
+
+// Drain closes admission, waits for every in-flight request to be served,
+// and stops the workers. It is idempotent; after it returns no request is
+// outstanding and Do returns ErrDraining.
+func (e *Engine) Drain() {
+	e.admit.Lock()
+	already := e.closed
+	e.closed = true
+	e.admit.Unlock()
+	if !already {
+		e.admitWG.Wait()
+		close(e.queue)
+	}
+	e.workers.Wait()
+}
+
+// TenantSnapshot is one tenant's accounting totals (see Snapshot). Sim
+// and EnergyJ are attributed demand: shared responses bill the full cell
+// cost to each recipient.
+type TenantSnapshot struct {
+	Tenant   string
+	Requests int64
+	Errors   int64
+	Shared   int64 // responses served by a coalesced/memoized execution
+	Sim      sim.Time
+	EnergyJ  float64
+}
+
+// Snapshot returns per-tenant accounting totals sorted by tenant name.
+func (e *Engine) Snapshot() []TenantSnapshot {
+	e.acct.Lock()
+	defer e.acct.Unlock()
+	out := make([]TenantSnapshot, 0, len(e.tenants))
+	for name, t := range e.tenants {
+		out = append(out, TenantSnapshot{
+			Tenant:   name,
+			Requests: t.requests,
+			Errors:   t.errors,
+			Shared:   t.shared,
+			Sim:      t.sim,
+			EnergyJ:  t.energyJ,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Report renders the per-tenant service metrics as a table: request and
+// error counts, how many responses rode on a shared execution, wall-clock
+// latency percentiles, and the simulated time/energy attributed to the
+// tenant (shared responses bill the full cell cost to each recipient —
+// see tenantAccount). Tenants sort lexically; a TOTAL row closes the
+// table.
+func (e *Engine) Report() *stats.Table {
+	e.acct.Lock()
+	defer e.acct.Unlock()
+	names := make([]string, 0, len(e.tenants))
+	for name := range e.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := stats.NewTable("conduit-serve: per-tenant service report",
+		"tenant", "requests", "errors", "shared", "mean_ms", "p99_ms", "max_ms", "sim_ms", "energy_J")
+	row := func(name string, a *tenantAccount) {
+		t.AddRowf(name, a.requests, a.errors, a.shared,
+			float64(a.wall.Mean())/1e6,
+			float64(a.wall.P99())/1e6,
+			float64(a.wall.Max())/1e6,
+			float64(a.sim)/1e6,
+			fmt.Sprintf("%.3g", a.energyJ))
+	}
+	for _, name := range names {
+		row(name, e.tenants[name])
+	}
+	row("TOTAL", &e.all)
+	return t
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"conduit/internal/sim"
+)
+
+// countingRunner counts executions per key and returns a deterministic
+// outcome derived from the key.
+type countingRunner struct {
+	execs int64
+	delay time.Duration
+	fail  map[string]error
+}
+
+func (r *countingRunner) RunCell(workload, policy string) (Outcome, error) {
+	atomic.AddInt64(&r.execs, 1)
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	if err := r.fail[workload+"|"+policy]; err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Value:   workload + "/" + policy,
+		Elapsed: sim.Time(simTimeOf(workload, policy)),
+		EnergyJ: 0.5,
+	}, nil
+}
+
+func simTimeOf(workload, policy string) (t int64) {
+	for _, c := range []byte(workload + policy) {
+		t += int64(c)
+	}
+	return t
+}
+
+func TestEngineServesAndAccounts(t *testing.T) {
+	r := &countingRunner{}
+	e := NewEngine(r, Config{Concurrency: 4})
+	defer e.Drain()
+
+	const perTenant = 5
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"a", "b", "c"} {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant string, i int) {
+				defer wg.Done()
+				resp, err := e.Do(Request{Tenant: tenant, Workload: fmt.Sprint("w", i), Policy: "Conduit"})
+				if err != nil {
+					t.Errorf("%s/%d: %v", tenant, i, err)
+					return
+				}
+				want := fmt.Sprintf("w%d/Conduit", i)
+				if resp.Outcome.Value != want {
+					t.Errorf("%s/%d: got %v, want %v", tenant, i, resp.Outcome.Value, want)
+				}
+				if resp.Outcome.Elapsed <= 0 || resp.Latency <= 0 {
+					t.Errorf("%s/%d: missing timing", tenant, i)
+				}
+			}(tenant, i)
+		}
+	}
+	wg.Wait()
+
+	snaps := e.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(snaps))
+	}
+	for _, s := range snaps {
+		if s.Requests != perTenant || s.Errors != 0 {
+			t.Errorf("tenant %s: requests=%d errors=%d, want %d/0", s.Tenant, s.Requests, s.Errors, perTenant)
+		}
+		if s.EnergyJ != 0.5*perTenant {
+			t.Errorf("tenant %s: energy %v, want %v", s.Tenant, s.EnergyJ, 0.5*perTenant)
+		}
+	}
+	rep := e.Report().String()
+	for _, want := range []string{"tenant", "TOTAL", "a", "b", "c"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestEngineMemoizeRunsEachCellOnce: with Memoize, sequential identical
+// requests execute the backend exactly once; later responses are marked
+// Shared.
+func TestEngineMemoizeRunsEachCellOnce(t *testing.T) {
+	r := &countingRunner{}
+	e := NewEngine(r, Config{Concurrency: 2, Memoize: true})
+	defer e.Drain()
+
+	for i := 0; i < 4; i++ {
+		resp, err := e.Do(Request{Tenant: "t", Workload: "w", Policy: "p"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared := resp.Shared; shared != (i > 0) {
+			t.Errorf("request %d: shared=%v", i, shared)
+		}
+	}
+	if n := atomic.LoadInt64(&r.execs); n != 1 {
+		t.Fatalf("memoized cell executed %d times, want 1", n)
+	}
+	// A distinct cell still executes.
+	if _, err := e.Do(Request{Tenant: "t", Workload: "w2", Policy: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt64(&r.execs); n != 2 {
+		t.Fatalf("distinct cell did not execute (execs=%d)", n)
+	}
+}
+
+// TestEngineCoalesceBatchesConcurrentIdenticalRequests: concurrent
+// same-cell requests share executions while one is in flight, but the
+// result is not cached — a request issued after completion re-executes.
+func TestEngineCoalesceBatchesConcurrentIdenticalRequests(t *testing.T) {
+	r := &countingRunner{delay: 20 * time.Millisecond}
+	e := NewEngine(r, Config{Concurrency: 8, Coalesce: true})
+	defer e.Drain()
+
+	const n = 8
+	var wg sync.WaitGroup
+	var shared int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := e.Do(Request{Tenant: "t", Workload: "w", Policy: "p"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.Shared {
+				atomic.AddInt64(&shared, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	execs := atomic.LoadInt64(&r.execs)
+	if execs+shared != n {
+		t.Fatalf("conservation violated: execs=%d shared=%d, want sum %d", execs, shared, n)
+	}
+	if execs >= n {
+		t.Fatalf("no batching: %d executions for %d concurrent identical requests", execs, n)
+	}
+	// Coalescing is not a cache: a later lone request executes afresh.
+	before := atomic.LoadInt64(&r.execs)
+	if _, err := e.Do(Request{Tenant: "t", Workload: "w", Policy: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if after := atomic.LoadInt64(&r.execs); after != before+1 {
+		t.Fatalf("post-completion request did not re-execute (execs %d -> %d)", before, after)
+	}
+}
+
+func TestEngineDrainRejectsAndCompletes(t *testing.T) {
+	r := &countingRunner{delay: 5 * time.Millisecond}
+	e := NewEngine(r, Config{Concurrency: 2})
+
+	const n = 10
+	var ok int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.Do(Request{Tenant: "t", Workload: fmt.Sprint("w", i), Policy: "p"}); err == nil {
+				atomic.AddInt64(&ok, 1)
+			} else if !errors.Is(err, ErrDraining) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	e.Drain()
+	e.Drain() // idempotent
+
+	if _, err := e.Do(Request{Tenant: "t", Workload: "late", Policy: "p"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Do after Drain: err=%v, want ErrDraining", err)
+	}
+	// Every admitted request was actually executed and accounted.
+	var accounted int64
+	for _, s := range e.Snapshot() {
+		accounted += s.Requests
+	}
+	if accounted != atomic.LoadInt64(&ok) {
+		t.Fatalf("accounted %d requests, %d clients got responses", accounted, ok)
+	}
+}
+
+// TestEngineContainsBackendPanics: a panicking backend fails the request
+// (and any coalesced joiners) with an error instead of crashing the
+// server; the worker keeps serving.
+func TestEngineContainsBackendPanics(t *testing.T) {
+	bomb := int64(1)
+	r := RunnerFunc(func(workload, policy string) (Outcome, error) {
+		if workload == "bomb" && atomic.AddInt64(&bomb, -1) >= 0 {
+			panic("backend exploded")
+		}
+		return Outcome{Value: workload}, nil
+	})
+	e := NewEngine(r, Config{Concurrency: 1, Coalesce: true})
+	defer e.Drain()
+
+	if _, err := e.Do(Request{Tenant: "t", Workload: "bomb", Policy: "p"}); err == nil ||
+		!strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking cell: err=%v, want panic error", err)
+	}
+	resp, err := e.Do(Request{Tenant: "t", Workload: "fine", Policy: "p"})
+	if err != nil || resp.Outcome.Value != "fine" {
+		t.Fatalf("engine did not survive backend panic: resp=%v err=%v", resp, err)
+	}
+	snaps := e.Snapshot()
+	if len(snaps) != 1 || snaps[0].Errors != 1 || snaps[0].Requests != 2 {
+		t.Fatalf("accounting after panic: %+v", snaps)
+	}
+}
+
+func TestEngineBackendErrorsAreReturnedAndCounted(t *testing.T) {
+	boom := errors.New("boom")
+	r := &countingRunner{fail: map[string]error{"w|bad": boom}}
+	e := NewEngine(r, Config{Concurrency: 2})
+	defer e.Drain()
+
+	resp, err := e.Do(Request{Tenant: "t", Workload: "w", Policy: "bad"})
+	if !errors.Is(err, boom) || !errors.Is(resp.Err, boom) {
+		t.Fatalf("err=%v resp.Err=%v, want boom", err, resp.Err)
+	}
+	if _, err := e.Do(Request{Tenant: "t", Workload: "w", Policy: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	snaps := e.Snapshot()
+	if len(snaps) != 1 || snaps[0].Errors != 1 || snaps[0].Requests != 2 {
+		t.Fatalf("error accounting: %+v", snaps)
+	}
+}
+
+// TestFlightGroupSemantics locks in the two sharing modes the engine and
+// the experiment harness build on.
+func TestFlightGroupSemantics(t *testing.T) {
+	var g FlightGroup
+	calls := 0
+	fn := func() (interface{}, error) { calls++; return calls, nil }
+
+	// Do memoizes successes forever.
+	v, joined, err := g.Do("k", fn)
+	if v != 1 || joined || err != nil {
+		t.Fatalf("first Do: v=%v joined=%v err=%v", v, joined, err)
+	}
+	v, joined, err = g.Do("k", fn)
+	if v != 1 || !joined || err != nil {
+		t.Fatalf("second Do must hit cache: v=%v joined=%v err=%v", v, joined, err)
+	}
+
+	// DoShared forgets the key after completion.
+	v, _, _ = g.DoShared("s", fn)
+	v2, joined, _ := g.DoShared("s", fn)
+	if v == v2 || joined {
+		t.Fatalf("DoShared must re-execute after completion: %v then %v (joined=%v)", v, v2, joined)
+	}
+
+	// Failures are not cached.
+	fails := 0
+	failing := func() (interface{}, error) {
+		fails++
+		if fails == 1 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	}
+	if _, _, err := g.Do("f", failing); err == nil {
+		t.Fatal("first call must fail")
+	}
+	if v, _, err := g.Do("f", failing); err != nil || v != "ok" {
+		t.Fatalf("retry after failure: v=%v err=%v", v, err)
+	}
+}

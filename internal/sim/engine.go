@@ -1,11 +1,3 @@
-// Package sim provides the discrete-event simulation core used by every
-// timed model in the Conduit reproduction: a virtual clock, an event queue,
-// and resource calendars that capture queueing delay on serial resources
-// (flash channels, DRAM banks and buses, controller cores).
-//
-// The engine is deliberately single-threaded and deterministic: two runs
-// with the same inputs produce identical timelines, which the experiment
-// harness and the tests rely on.
 package sim
 
 import (

@@ -1,14 +1,3 @@
-// Package ssd assembles the simulated drive and implements Conduit's
-// runtime half (§4.3.2): the SSD offloader that collects the cost-function
-// features for each vectorized instruction, asks a policy for the target
-// computation resource, transforms the instruction into that resource's
-// native ISA, moves operands as the data-mapping rules of §4.4 require, and
-// dispatches the work onto the resource's execution queue.
-//
-// The device is functional as well as timed: running a program produces
-// both a timeline (per-instruction latencies, total runtime, energy) and
-// the actual computed bytes, which tests check against the compiler's
-// scalar reference interpreter.
 package ssd
 
 import (

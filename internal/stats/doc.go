@@ -1,0 +1,5 @@
+// Package stats collects and renders the measurements that the experiment
+// harness reports: counters, latency distributions with exact tail
+// percentiles (the paper reports p99 and p99.99 in Fig. 8), per-resource
+// instruction fractions (Fig. 9), and per-instruction timelines (Fig. 10).
+package stats

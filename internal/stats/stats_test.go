@@ -43,12 +43,12 @@ func TestReservoirMeanRounds(t *testing.T) {
 		samples []sim.Time
 		want    sim.Time
 	}{
-		{[]sim.Time{1, 2}, 2},          // 1.5 rounds up
-		{[]sim.Time{1, 1, 2}, 1},       // 1.33 rounds down
-		{[]sim.Time{2, 2, 3}, 2},       // 2.33 rounds down
-		{[]sim.Time{0, 0, 0, 1}, 0},    // 0.25 rounds down
-		{[]sim.Time{0, 1, 1, 1}, 1},    // 0.75 rounds up
-		{[]sim.Time{10, 20, 30}, 20},   // exact
+		{[]sim.Time{1, 2}, 2},           // 1.5 rounds up
+		{[]sim.Time{1, 1, 2}, 1},        // 1.33 rounds down
+		{[]sim.Time{2, 2, 3}, 2},        // 2.33 rounds down
+		{[]sim.Time{0, 0, 0, 1}, 0},     // 0.25 rounds down
+		{[]sim.Time{0, 1, 1, 1}, 1},     // 0.75 rounds up
+		{[]sim.Time{10, 20, 30}, 20},    // exact
 		{[]sim.Time{999, 1000, 1}, 667}, // 666.67 rounds up
 	}
 	for _, tc := range cases {

@@ -1,0 +1,10 @@
+// Package vecmath implements the functional (bit-accurate) elementwise
+// vector arithmetic shared by every computation substrate in the simulator:
+// the flash latch engine, the processing-using-DRAM engine, the controller
+// MVE model, the host models, and the compiler's scalar reference
+// interpreter. Centralizing it guarantees all substrates agree on
+// semantics, which the cross-substrate equivalence tests rely on.
+//
+// Elements are little-endian unsigned integers of 1, 2 or 4 bytes; signed
+// operations sign-extend explicitly.
+package vecmath

@@ -1,22 +1,8 @@
-// Package workloads builds the six data-intensive applications the paper
-// evaluates (§5.4, Table 3) as compiler sources: AES encryption, an XOR
-// membership filter, the heat-3d and jacobi-1d polybench stencils, and
-// INT8 LLaMA2-style inference and training. Each builder is parameterized
-// by a scale factor so unit tests stay fast while benchmarks approach the
-// paper's instruction-stream sizes (Fig. 10 analyzes a 12,000-instruction
-// window of LLaMA2 inference).
-//
-// All workloads are INT8-quantized (§5.4: floating point is quantized to
-// INT8 so the SSD computation resources can execute everything), and are
-// sized so Characterize reproduces the qualitative structure of Table 3:
-// AES is bitwise-dominated with high reuse; the XOR filter is barely
-// vectorizable; the stencils vectorize almost fully with medium/high
-// arithmetic; the LLM workloads mix multiplication-heavy attention with
-// control regions.
 package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"conduit/internal/compiler"
 	"conduit/internal/isa"
@@ -29,17 +15,47 @@ type Named struct {
 	Source *compiler.Source
 }
 
+// builders lists the evaluated workloads in the order the paper's figures
+// present them, each paired with its source constructor.
+var builders = []struct {
+	name  string
+	build func(scale int) *compiler.Source
+}{
+	{"AES", AES},
+	{"XOR Filter", XORFilter},
+	{"heat-3d", Heat3D},
+	{"jacobi-1d", Jacobi1D},
+	{"LlaMA2 Inference", LlamaInference},
+	{"LLM Training", LLMTraining},
+}
+
 // All returns the six evaluated workloads at the given scale, in the order
 // the paper's figures list them.
 func All(scale int) []Named {
-	return []Named{
-		{"AES", AES(scale)},
-		{"XOR Filter", XORFilter(scale)},
-		{"heat-3d", Heat3D(scale)},
-		{"jacobi-1d", Jacobi1D(scale)},
-		{"LlaMA2 Inference", LlamaInference(scale)},
-		{"LLM Training", LLMTraining(scale)},
+	out := make([]Named, 0, len(builders))
+	for _, b := range builders {
+		out = append(out, Named{b.name, b.build(scale)})
 	}
+	return out
+}
+
+// Canonical normalizes a workload name for command-line lookup: lowercase
+// with spaces as dashes ("LlaMA2 Inference" -> "llama2-inference").
+func Canonical(s string) string {
+	return strings.ReplaceAll(strings.ToLower(s), " ", "-")
+}
+
+// Find returns the evaluation workload whose name matches name under
+// Canonical, built at the given scale. Only the matching workload's
+// source is constructed.
+func Find(name string, scale int) (Named, bool) {
+	want := Canonical(name)
+	for _, b := range builders {
+		if Canonical(b.name) == want {
+			return Named{b.name, b.build(scale)}, true
+		}
+	}
+	return Named{}, false
 }
 
 // lanes is the INT8 vector width of one 16 KiB page.

@@ -1,0 +1,175 @@
+package conduit
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"conduit/internal/ssd"
+)
+
+// DevicePool keeps a bounded buffer of pre-forked clones of a Deployment's
+// pristine post-deploy master. Cloning a device is O(state) — cheap next
+// to the NVMe deploy path, but not free on a serving hot path — so a
+// background refiller produces clones ahead of demand and Fork/Get hands
+// them out without paying the copy inline.
+//
+// Every clone of the master is byte-identical, so a pool-served fork is
+// observationally indistinguishable from one cloned on demand; the pool
+// changes who pays the copy, never what executes. Get never blocks: an
+// empty buffer (demand outran the refiller) falls back to an inline clone.
+//
+// A DevicePool is safe for concurrent use. Close it to stop the refiller
+// and release buffered devices; a closed pool degrades to inline cloning.
+type DevicePool struct {
+	dep     *Deployment
+	free    chan *ssd.Device
+	room    chan struct{} // one token per unfilled buffer slot
+	stop    chan struct{}
+	done    chan struct{} // refiller exited
+	drained chan struct{} // Close finished emptying the buffer
+
+	closeOnce sync.Once
+
+	preforked int64 // clones produced by the refiller
+	hits      int64 // Gets served from the buffer
+	misses    int64 // Gets that cloned inline
+}
+
+// PoolStats is a point-in-time snapshot of a pool's activity.
+type PoolStats struct {
+	// Preforked counts clones the background refiller produced.
+	Preforked int64
+	// Hits counts forks served from the pre-fork buffer.
+	Hits int64
+	// Misses counts forks cloned inline because the buffer was empty
+	// (or the pool was closed).
+	Misses int64
+	// Idle is the number of pre-forked clones currently buffered.
+	Idle int
+	// Closed reports whether Close has begun.
+	Closed bool
+}
+
+// Prefork attaches a pool of depth pre-forked clones to the deployment and
+// returns it. Fork (and therefore Run) is served from the pool from now
+// on. A previously attached pool is closed and replaced. depth < 1 is
+// treated as 1.
+func (d *Deployment) Prefork(depth int) *DevicePool {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &DevicePool{
+		dep:     d,
+		free:    make(chan *ssd.Device, depth),
+		room:    make(chan struct{}, depth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	for i := 0; i < depth; i++ {
+		p.room <- struct{}{}
+	}
+	go p.refill()
+	d.poolMu.Lock()
+	old := d.pool
+	d.pool = p
+	d.poolMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return p
+}
+
+// Pool returns the deployment's attached prefork pool, or nil.
+func (d *Deployment) Pool() *DevicePool {
+	d.poolMu.Lock()
+	defer d.poolMu.Unlock()
+	return d.pool
+}
+
+// Close closes the deployment's prefork pool, if any. Forks already
+// handed out are unaffected; later Forks clone inline. The closed pool
+// stays attached so its final Stats remain inspectable.
+func (d *Deployment) Close() {
+	if p := d.Pool(); p != nil {
+		p.Close()
+	}
+}
+
+// refill keeps the buffer full until stopped. A room token is acquired
+// before cloning, so the pool holds at most depth clones at any moment
+// (buffered plus the one in the refiller's hand). The clone produced when
+// the stop signal wins the select is simply dropped — clones carry no
+// external resources.
+func (p *DevicePool) refill() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.room:
+		}
+		dev := p.dep.master.Clone()
+		select {
+		case <-p.stop:
+			return
+		case p.free <- dev:
+			atomic.AddInt64(&p.preforked, 1)
+		}
+	}
+}
+
+// Get returns a fresh post-deploy fork, preferring a pre-forked clone. It
+// never blocks: on an empty or closed buffer it clones inline, exactly
+// like Deployment.Fork without a pool.
+func (p *DevicePool) Get() *ssd.Device {
+	select {
+	case dev, ok := <-p.free:
+		if ok {
+			// Hand the freed slot back to the refiller.
+			select {
+			case p.room <- struct{}{}:
+			default:
+			}
+			atomic.AddInt64(&p.hits, 1)
+			return dev
+		}
+	default:
+	}
+	atomic.AddInt64(&p.misses, 1)
+	return p.dep.master.Clone()
+}
+
+// Close stops the refiller and discards every buffered clone; it blocks
+// until the refiller has exited and the buffer is empty, so after Close
+// returns no fork is held by the pool. Close is idempotent.
+func (p *DevicePool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		<-p.done
+		close(p.free)
+		for range p.free {
+		}
+		close(p.drained)
+	})
+	// Losers of the Once race wait for the winner to finish draining, so
+	// every Close call observes the empty-pool postcondition.
+	<-p.drained
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *DevicePool) Stats() PoolStats {
+	closed := false
+	select {
+	case <-p.stop:
+		closed = true
+	default:
+	}
+	return PoolStats{
+		Preforked: atomic.LoadInt64(&p.preforked),
+		Hits:      atomic.LoadInt64(&p.hits),
+		Misses:    atomic.LoadInt64(&p.misses),
+		Idle:      len(p.free),
+		Closed:    closed,
+	}
+}

@@ -1,0 +1,225 @@
+package conduit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"conduit/internal/serve"
+	"conduit/internal/workloads"
+)
+
+// Serving-layer building blocks, re-exported like the compiler types.
+type (
+	// Request names one offload execution on behalf of a tenant.
+	Request = serve.Request
+	// Response is the served result of one request; its Outcome.Value
+	// holds the *RunResult (see ResultOf).
+	Response = serve.Response
+	// TenantSnapshot is one tenant's accounting totals.
+	TenantSnapshot = serve.TenantSnapshot
+)
+
+// ErrDraining is returned by Server.Do once Drain has begun.
+var ErrDraining = serve.ErrDraining
+
+// ServeOptions tunes a Server.
+type ServeOptions struct {
+	// Concurrency bounds simultaneously executing requests; < 1 selects
+	// GOMAXPROCS.
+	Concurrency int
+	// QueueDepth is the admission-queue capacity; < 1 selects
+	// 4 x Concurrency.
+	QueueDepth int
+	// Prefork is the per-application device-pool depth: how many restored
+	// post-deploy clones to keep ready ahead of demand. < 1 disables
+	// pooling (forks clone inline).
+	Prefork int
+	// Coalesce shares one execution among identical in-flight requests.
+	Coalesce bool
+	// Memoize caches each (workload, policy) result for the lifetime of
+	// the server. Sound because runs are deterministic; implies Coalesce.
+	Memoize bool
+}
+
+// Server serves offload requests for a set of registered applications
+// over pool-managed Deployment forks. Each application is compiled and
+// NVMe-deployed exactly once, at registration; every request then runs on
+// a restored post-deploy clone, so sustained traffic never re-drives the
+// deploy path. All methods are safe for concurrent use.
+type Server struct {
+	sys  *System
+	opts ServeOptions
+	eng  *serve.Engine
+
+	mu       sync.Mutex
+	apps     map[string]*Deployment
+	draining bool
+}
+
+// NewServer starts a serving engine over a fresh System for cfg. Callers
+// must Drain it when done.
+func NewServer(cfg Config, opts ServeOptions) *Server {
+	s := &Server{
+		sys:  NewSystem(cfg),
+		opts: opts,
+		apps: make(map[string]*Deployment),
+	}
+	s.eng = serve.NewEngine(serve.RunnerFunc(s.runCell), serve.Config{
+		Concurrency: opts.Concurrency,
+		QueueDepth:  opts.QueueDepth,
+		Coalesce:    opts.Coalesce,
+		Memoize:     opts.Memoize,
+	})
+	return s
+}
+
+// Register compiles src and installs it under name (see RegisterCompiled).
+func (s *Server) Register(name string, src *Source) error {
+	c, err := Compile(src, &s.sys.cfg)
+	if err != nil {
+		return err
+	}
+	return s.RegisterCompiled(name, c)
+}
+
+// RegisterCompiled deploys c once over the NVMe path, attaches a prefork
+// pool of opts.Prefork ready clones, and makes the application requestable
+// under name. Registering a name twice is an error.
+func (s *Server) RegisterCompiled(name string, c *Compiled) error {
+	errDup := fmt.Errorf("conduit: application %q already registered", name)
+	// Check the name (and drain state) before paying for the deploy;
+	// re-check at insertion in case of a concurrent registration of the
+	// same name or a concurrent Drain.
+	s.mu.Lock()
+	_, dup := s.apps[name]
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	if dup {
+		return errDup
+	}
+	dep, err := s.sys.Deploy(c)
+	if err != nil {
+		return err
+	}
+	if s.opts.Prefork > 0 {
+		dep.Prefork(s.opts.Prefork)
+	}
+	s.mu.Lock()
+	_, dup = s.apps[name]
+	draining = s.draining
+	if !dup && !draining {
+		s.apps[name] = dep
+	}
+	s.mu.Unlock()
+	if dup || draining {
+		dep.Close()
+		if draining {
+			return ErrDraining
+		}
+		return errDup
+	}
+	return nil
+}
+
+// RegisterSuite registers the paper's six evaluation workloads at the
+// given scale factor under their figure names.
+func (s *Server) RegisterSuite(scale int) error {
+	for _, w := range workloads.All(scale) {
+		if err := s.Register(w.Name, w.Source); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Applications lists registered application names, sorted.
+func (s *Server) Applications() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runCell is the serve.Runner backend: one request = one policy run on a
+// pool-managed fork of the workload's deployment.
+func (s *Server) runCell(workload, policy string) (serve.Outcome, error) {
+	s.mu.Lock()
+	dep := s.apps[workload]
+	s.mu.Unlock()
+	if dep == nil {
+		return serve.Outcome{}, fmt.Errorf("conduit: no application %q registered (have: %s)",
+			workload, strings.Join(s.Applications(), ", "))
+	}
+	r, err := dep.Run(policy)
+	if err != nil {
+		return serve.Outcome{}, err
+	}
+	// Served results never expose the executed drive: a coalesced or
+	// memoized response is shared between requests, and an ssd.Device is
+	// single-goroutine. The rest of a RunResult is an immutable snapshot
+	// and safe to share (the Reservoir locks internally).
+	r.Device = nil
+	return serve.Outcome{Value: r, Elapsed: r.Elapsed, EnergyJ: r.TotalEnergy()}, nil
+}
+
+// Do submits one request and blocks until it is served (closed-loop). The
+// returned error is ErrDraining after Drain, otherwise Response.Err.
+func (s *Server) Do(req Request) (*Response, error) { return s.eng.Do(req) }
+
+// ResultOf unwraps the RunResult a successful response carries; it returns
+// nil for a nil or failed response.
+func ResultOf(resp *Response) *RunResult {
+	if resp == nil || resp.Err != nil {
+		return nil
+	}
+	r, _ := resp.Outcome.Value.(*RunResult)
+	return r
+}
+
+// Drain stops admission, waits for every in-flight request to complete,
+// and closes every application's prefork pool. After Drain returns, no
+// fork is buffered anywhere, Do rejects with ErrDraining, and further
+// registrations are refused. Idempotent.
+func (s *Server) Drain() {
+	s.eng.Drain()
+	s.mu.Lock()
+	s.draining = true
+	deps := make([]*Deployment, 0, len(s.apps))
+	for _, dep := range s.apps {
+		deps = append(deps, dep)
+	}
+	s.mu.Unlock()
+	for _, dep := range deps {
+		dep.Close()
+	}
+}
+
+// Report renders the per-tenant service metrics table (request counts,
+// wall-clock latency percentiles, simulated time and energy consumed).
+func (s *Server) Report() *Table { return s.eng.Report() }
+
+// Tenants returns per-tenant accounting totals sorted by tenant name.
+func (s *Server) Tenants() []TenantSnapshot { return s.eng.Snapshot() }
+
+// PoolStats reports each registered application's device-pool counters,
+// keyed by application name. Applications without a pool are omitted.
+func (s *Server) PoolStats() map[string]PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]PoolStats, len(s.apps))
+	for name, dep := range s.apps {
+		if p := dep.Pool(); p != nil {
+			out[name] = p.Stats()
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package conduit_test
+
+// The serve benchmarks quantify the serving engine against the naive
+// alternative on the same request stream:
+//
+//	go test -bench=Serve -benchtime=1x
+//
+// BenchmarkServeNaivePerRequestDeploy answers every request the way the
+// seed code could: a full NVMe deploy (per-page I/O writes + chunked
+// fw-download + fw-commit) followed by the run, one request at a time.
+// BenchmarkServePooled serves the identical stream through a Server:
+// one deploy per workload ever, requests dispatched concurrently over
+// pre-forked pool-managed clones. Responses are byte-identical across the
+// two paths (see TestServeConcurrentMatchesSerial).
+
+import (
+	"testing"
+
+	conduit "conduit"
+)
+
+// servePolicies is the request mix both serve benchmarks draw from.
+var servePolicies = []string{"Conduit", "DM-Offloading", "BW-Offloading"}
+
+// servingSource models the shape request serving exists for: a large
+// resident dataset (deployed to the drive once) against which each request
+// runs a comparatively small kernel. The naive path re-ships the whole
+// dataset over the NVMe deploy path on every request; the served path
+// ships it once and restores pool-managed clones.
+func servingSource(datasetPages, kernelLanes int) *conduit.Source {
+	const lanes = 16 << 10
+	data := make([]byte, datasetPages*lanes)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	return &conduit.Source{
+		Name: "serving",
+		Arrays: []*conduit.Array{
+			{Name: "dataset", Elem: 1, Len: len(data), Input: true, Data: data},
+			{Name: "out", Elem: 1, Len: kernelLanes},
+		},
+		Stmts: []conduit.Stmt{
+			conduit.Loop{Name: "probe", N: kernelLanes, Body: []conduit.Assign{
+				{Target: "out", Value: conduit.Bin{Op: conduit.OpXor,
+					X: conduit.Bin{Op: conduit.OpMul, X: conduit.Ref{Name: "dataset"}, Y: conduit.Lit{Value: 3}},
+					Y: conduit.Lit{Value: 0xA5}}},
+			}},
+		},
+	}
+}
+
+func BenchmarkServeNaivePerRequestDeploy(b *testing.B) {
+	cfg := conduit.DefaultConfig()
+	sys := conduit.NewSystem(cfg)
+	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunCompiled(c, servePolicies[i%len(servePolicies)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServePooled(b *testing.B) {
+	cfg := conduit.DefaultConfig()
+	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{Concurrency: 2, Prefork: 2})
+	if err := srv.RegisterCompiled("serving", c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := conduit.Request{
+			Tenant:   "bench",
+			Workload: "serving",
+			Policy:   servePolicies[i%len(servePolicies)],
+		}
+		if _, err := srv.Do(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	srv.Drain()
+}
