@@ -144,7 +144,7 @@ func BenchmarkSweepSerialFullDeploy(b *testing.B) {
 	e := conduit.NewExperiments(cfg, 1)
 	comp := make([]*conduit.Compiled, 0, len(e.Workloads()))
 	for _, w := range e.Workloads() {
-		c, err := compileWorkload(&cfg, w)
+		c, err := compileWorkload(&cfg, w, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,13 +174,37 @@ func BenchmarkSweepGridSnapshot4Workers(b *testing.B) {
 	}
 }
 
-func compileWorkload(cfg *conduit.Config, name string) (*conduit.Compiled, error) {
-	for _, w := range workloads.All(1) {
+func compileWorkload(cfg *conduit.Config, name string, scale int) (*conduit.Compiled, error) {
+	for _, w := range workloads.All(scale) {
 		if w.Name == name {
 			return conduit.Compile(w.Source, cfg)
 		}
 	}
 	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// BenchmarkDeviceRunHot measures one full Conduit-policy device run at
+// benchScale with the deploy amortized away (fork-per-iteration from a
+// post-deploy master): the data-plane hot path the kernel and
+// buffer-reuse work targets, free of NVMe-deploy noise. Run with
+// -benchmem: allocs/op is the page-churn regression signal.
+func BenchmarkDeviceRunHot(b *testing.B) {
+	cfg := conduit.DefaultConfig()
+	sys := conduit.NewSystem(cfg)
+	c, err := compileWorkload(&cfg, "LlaMA2 Inference", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := sys.Deploy(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Run("Conduit"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkOffloaderDecision measures the raw per-instruction offloading

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	conduit "conduit"
+	"conduit/internal/vecmath"
+	"conduit/internal/workloads"
+)
+
+// benchResult is one recorded benchmark in the perf-trajectory file.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// benchFile is the schema of BENCH_*.json: a point-in-time record of the
+// data-plane benchmarks, with the derived ratios the acceptance bars
+// refer to. scripts/bench.sh regenerates it.
+type benchFile struct {
+	Schema  string            `json:"schema"`
+	Scale   int               `json:"scale"`
+	GoArch  string            `json:"goarch"`
+	Benches []benchResult     `json:"benches"`
+	Derived map[string]string `json:"derived"`
+}
+
+func record(name string, r testing.BenchmarkResult, bytesProcessed int64) benchResult {
+	out := benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if bytesProcessed > 0 && r.T > 0 {
+		out.MBPerSec = float64(bytesProcessed) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	return out
+}
+
+// runBenchJSON executes the perf-trajectory benchmark set and writes the
+// JSON record to path. It is the programmatic twin of
+// `go test -bench 'VecmathKernels|Fig4|DeviceRunHot' -benchmem`.
+func runBenchJSON(path string, scale int) error {
+	const page = 16 << 10
+	a := make([]byte, page)
+	b := make([]byte, page)
+	dst := make([]byte, page)
+	for i := range a {
+		a[i] = byte(i * 31)
+		b[i] = byte(i*17 + 5)
+	}
+	var out []benchResult
+	kernel := func(name string, fn func()) benchResult {
+		r := record(name, testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				fn()
+			}
+		}), page)
+		out = append(out, r)
+		return r
+	}
+
+	bitSpec := kernel("vecmath/bitwise-and-1/specialized", func() { vecmath.Apply(vecmath.OpAnd, dst, a, b, 1) })
+	bitGen := kernel("vecmath/bitwise-and-1/generic", func() { vecmath.ApplyGeneric(vecmath.OpAnd, dst, a, b, 1) })
+	ariSpec := kernel("vecmath/arith-add-4/specialized", func() { vecmath.Apply(vecmath.OpAdd, dst, a, b, 4) })
+	ariGen := kernel("vecmath/arith-add-4/generic", func() { vecmath.ApplyGeneric(vecmath.OpAdd, dst, a, b, 4) })
+
+	// Fig. 4 regeneration: compile + deploy + run per call, the
+	// whole-simulator macro path.
+	e := conduit.NewExperiments(conduit.DefaultConfig(), scale)
+	fig4 := record("experiments/fig4-regen", testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if _, err := e.Fig4(); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	}), 0)
+	out = append(out, fig4)
+
+	// One full Conduit-policy device run with the deploy amortized.
+	cfg := conduit.DefaultConfig()
+	sys := conduit.NewSystem(cfg)
+	w, ok := workloads.Find("llama2-inference", scale)
+	if !ok {
+		return fmt.Errorf("benchjson: workload llama2-inference not found")
+	}
+	comp, err := conduit.Compile(w.Source, &cfg)
+	if err != nil {
+		return err
+	}
+	dep, err := sys.Deploy(comp)
+	if err != nil {
+		return err
+	}
+	hot := record("device/run-hot-conduit", testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if _, err := dep.Run("Conduit"); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	}), 0)
+	out = append(out, hot)
+
+	f := benchFile{
+		Schema:  "conduit-bench/v1",
+		Scale:   scale,
+		GoArch:  runtime.GOARCH,
+		Benches: out,
+		Derived: map[string]string{
+			"bitwise_kernel_speedup_vs_generic": fmt.Sprintf("%.1fx", bitGen.NsPerOp/bitSpec.NsPerOp),
+			"arith_kernel_speedup_vs_generic":   fmt.Sprintf("%.1fx", ariGen.NsPerOp/ariSpec.NsPerOp),
+		},
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (bitwise kernels %s, arith kernels %s vs generic)\n",
+		path, f.Derived["bitwise_kernel_speedup_vs_generic"], f.Derived["arith_kernel_speedup_vs_generic"])
+	return nil
+}

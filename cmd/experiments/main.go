@@ -5,16 +5,25 @@
 // Usage:
 //
 //	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|all]
+//	experiments -benchjson BENCH_pr3.json [-scale N]
 //
 // Shared workload x policy sweeps execute concurrently across -workers
 // goroutines, deploying each workload once and restoring the post-deploy
 // snapshot per policy; tables are identical to a serial sweep.
+//
+// -benchjson runs the data-plane perf-trajectory benchmarks (kernel
+// microbenches vs the generic reference, a Fig. 4 regeneration, and a
+// deploy-amortized device run) and records them as JSON; scripts/bench.sh
+// wraps it. -cpuprofile/-memprofile write pprof profiles of whatever
+// experiments the invocation runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	conduit "conduit"
 )
@@ -24,14 +33,60 @@ func main() {
 	window := flag.Int("fig10window", 12000, "instruction window for Fig 10")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "concurrent sweep runs (0 = GOMAXPROCS)")
+	benchjson := flag.String("benchjson", "", "run the perf-trajectory benchmarks and write the JSON record to `file`")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	flag.Parse()
+
+	// All work happens in run so its defers — in particular stopping the
+	// CPU profile and writing the heap profile — execute before os.Exit.
+	os.Exit(run(*scale, *window, *csv, *workers, *benchjson, *cpuprofile, *memprofile))
+}
+
+func run(scale, window int, csv bool, workers int, benchjson, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if memprofile == "" {
+			return
+		}
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+		}
+	}()
+
+	if benchjson != "" {
+		if err := runBenchJSON(benchjson, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: benchjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
 	}
-	e := conduit.NewExperiments(conduit.DefaultConfig(), *scale)
-	e.SetWorkers(*workers)
+	e := conduit.NewExperiments(conduit.DefaultConfig(), scale)
+	e.SetWorkers(workers)
 
 	type exp struct {
 		name string
@@ -46,7 +101,7 @@ func main() {
 		{"fig7b", e.Fig7b},
 		{"fig8", e.Fig8},
 		{"fig9", e.Fig9},
-		{"fig10", func() (*conduit.Table, error) { return e.Fig10(*window, 72) }},
+		{"fig10", func() (*conduit.Table, error) { return e.Fig10(window, 72) }},
 		{"overhead", e.Overhead},
 		{"ablation", e.AblationCostFeatures},
 		{"ablation-width", e.AblationVectorWidth},
@@ -61,9 +116,9 @@ func main() {
 		t, err := x.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", x.name, err)
-			os.Exit(1)
+			return 1
 		}
-		if *csv {
+		if csv {
 			t.CSV(os.Stdout)
 		} else {
 			t.Render(os.Stdout)
@@ -72,6 +127,7 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", which)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 
+	"conduit/internal/arena"
 	"conduit/internal/vecmath"
 )
 
@@ -14,6 +15,12 @@ import (
 // A[i+k] wrap within their vector block, exactly as the emitted shuffle
 // instructions behave. The returned map holds each array's final contents
 // (padded to whole blocks).
+//
+// The evaluation itself is block-vectorized through the specialized
+// vecmath kernels — the scalar semantics are defined by evalLane (kept as
+// the oracle for the interpreter's own differential test), and every
+// kernel is differentially tested against the same scalar semantics, so
+// the result is bit-identical to lane-serial evaluation.
 func Interpret(src *Source, pageSize int) (map[string][]byte, error) {
 	if err := src.Validate(); err != nil {
 		return nil, err
@@ -33,6 +40,12 @@ func Interpret(src *Source, pageSize int) (map[string][]byte, error) {
 		mem[a.Name] = buf
 	}
 
+	ev := &blockEval{
+		mem:   mem,
+		elem:  elem,
+		lanes: lanes,
+		pool:  arena.New(pageSize),
+	}
 	mask := vecmath.Mask(elem)
 	for _, st := range src.Stmts {
 		l, ok := st.(Loop)
@@ -43,28 +56,19 @@ func Interpret(src *Source, pageSize int) (map[string][]byte, error) {
 		for b := 0; b < blocks; b++ {
 			base := b * lanes
 			for _, a := range l.Body {
-				out := make([]uint64, lanes)
-				for i := 0; i < lanes; i++ {
-					v, err := evalLane(src, mem, a.Value, base, i, lanes, elem)
-					if err != nil {
-						return nil, err
-					}
-					out[i] = v
+				out, owned, err := ev.eval(a.Value, base)
+				if err != nil {
+					return nil, err
 				}
-				tgt := mem[a.Target]
+				tgt := mem[a.Target][base*elem : (base+lanes)*elem]
 				if a.Reduce {
-					var sum uint64
-					for _, v := range out {
-						sum += v
-					}
-					sum &= mask
-					for i := 0; i < lanes; i++ {
-						vecmath.Store(tgt, base+i, elem, sum)
-					}
-					continue
+					sum := vecmath.ReduceAdd(out, elem) & mask
+					vecmath.Broadcast(tgt, elem, sum)
+				} else {
+					copy(tgt, out)
 				}
-				for i := 0; i < lanes; i++ {
-					vecmath.Store(tgt, base+i, elem, out[i])
+				if owned {
+					ev.pool.Put(out)
 				}
 			}
 		}
@@ -72,7 +76,187 @@ func Interpret(src *Source, pageSize int) (map[string][]byte, error) {
 	return mem, nil
 }
 
-// evalLane evaluates e for lane base+i with block-circular indexing.
+// blockEval evaluates expressions over one vector block at a time,
+// producing pageSize-byte buffers. Returned buffers are either owned
+// (pool-allocated intermediates the caller must Put back) or borrowed
+// views into mem (never written).
+type blockEval struct {
+	mem   map[string][]byte
+	elem  int
+	lanes int
+	pool  *arena.Pool
+}
+
+// eval computes e for the block starting at lane base.
+func (ev *blockEval) eval(e Expr, base int) ([]byte, bool, error) {
+	elem, lanes := ev.elem, ev.lanes
+	switch v := e.(type) {
+	case Lit:
+		buf := ev.pool.Get()
+		vecmath.Broadcast(buf, elem, v.Value)
+		return buf, true, nil
+	case Ref:
+		block := ev.mem[v.Name][base*elem : (base+lanes)*elem]
+		rot := ((v.Offset % lanes) + lanes) % lanes
+		if rot == 0 {
+			return block, false, nil
+		}
+		buf := ev.pool.Get()
+		vecmath.Shuffle(buf, block, elem, rot)
+		return buf, true, nil
+	case Un:
+		if v.Op != OpNot {
+			return nil, false, fmt.Errorf("compiler: unary %d unsupported", v.Op)
+		}
+		x, owned, err := ev.eval(v.X, base)
+		if err != nil {
+			return nil, false, err
+		}
+		dst := x
+		if !owned {
+			dst = ev.pool.Get()
+		}
+		vecmath.ApplyUnary(vecmath.OpNot, dst, x, elem, 0)
+		return dst, true, nil
+	case Bin:
+		k, ok := kernelLaneOp(v.Op)
+		if !ok {
+			return nil, false, fmt.Errorf("compiler: unmapped lane op %d", v.Op)
+		}
+		x, xo, err := ev.eval(v.X, base)
+		if err != nil {
+			return nil, false, err
+		}
+		// Literal right operands take the immediate kernels directly.
+		if lit, isLit := v.Y.(Lit); isLit {
+			dst := x
+			if !xo {
+				dst = ev.pool.Get()
+			}
+			if k == vecmath.OpShl || k == vecmath.OpShr {
+				// The literal shift count participates as a masked lane
+				// value, exactly as evalLane computes it.
+				vecmath.ApplyUnary(k, dst, x, elem, lit.Value&vecmath.Mask(elem))
+			} else {
+				vecmath.ApplyImm(k, dst, x, elem, lit.Value)
+			}
+			return dst, true, nil
+		}
+		y, yo, err := ev.eval(v.Y, base)
+		if err != nil {
+			if xo {
+				ev.pool.Put(x)
+			}
+			return nil, false, err
+		}
+		dst := x
+		switch {
+		case xo:
+		case yo:
+			dst = y
+		default:
+			dst = ev.pool.Get()
+		}
+		vecmath.Apply(k, dst, x, y, elem)
+		if xo && yo {
+			ev.pool.Put(y) // dst reused x; y is now dead
+		}
+		return dst, true, nil
+	case Cond:
+		m, mo, err := ev.eval(v.Mask, base)
+		if err != nil {
+			return nil, false, err
+		}
+		a, ao, err := ev.eval(v.A, base)
+		if err != nil {
+			if mo {
+				ev.pool.Put(m)
+			}
+			return nil, false, err
+		}
+		b, bo, err := ev.eval(v.B, base)
+		if err != nil {
+			if mo {
+				ev.pool.Put(m)
+			}
+			if ao {
+				ev.pool.Put(a)
+			}
+			return nil, false, err
+		}
+		// Both branches are pure (division by zero saturates rather than
+		// trapping), so evaluating them unconditionally is lane-exact for
+		// every valid source. The one divergence from the lane-serial
+		// oracle is error behavior: an unsupported operation inside a
+		// never-selected branch errors here, where per-lane short-circuit
+		// evaluation would have skipped it.
+		var dst []byte
+		switch {
+		case mo:
+			dst = m
+		case ao:
+			dst = a
+		case bo:
+			dst = b
+		default:
+			dst = ev.pool.Get()
+		}
+		vecmath.Select(dst, m, a, b, elem)
+		if mo && &dst[0] != &m[0] {
+			ev.pool.Put(m)
+		}
+		if ao && &dst[0] != &a[0] {
+			ev.pool.Put(a)
+		}
+		if bo && &dst[0] != &b[0] {
+			ev.pool.Put(b)
+		}
+		return dst, true, nil
+	default:
+		return nil, false, fmt.Errorf("compiler: unknown expression %T", e)
+	}
+}
+
+// kernelLaneOp maps a source binary operation onto the vecmath kernel
+// vocabulary.
+func kernelLaneOp(op OpCode) (vecmath.Op, bool) {
+	switch op {
+	case OpAdd:
+		return vecmath.OpAdd, true
+	case OpSub:
+		return vecmath.OpSub, true
+	case OpMul:
+		return vecmath.OpMul, true
+	case OpDiv:
+		return vecmath.OpDiv, true
+	case OpAnd:
+		return vecmath.OpAnd, true
+	case OpOr:
+		return vecmath.OpOr, true
+	case OpXor:
+		return vecmath.OpXor, true
+	case OpShl:
+		return vecmath.OpShl, true
+	case OpShr:
+		return vecmath.OpShr, true
+	case OpLT:
+		return vecmath.OpLT, true
+	case OpGT:
+		return vecmath.OpGT, true
+	case OpEQ:
+		return vecmath.OpEQ, true
+	case OpMin:
+		return vecmath.OpMin, true
+	case OpMax:
+		return vecmath.OpMax, true
+	default:
+		return 0, false
+	}
+}
+
+// evalLane evaluates e for lane base+i with block-circular indexing: the
+// scalar reference semantics of one lane, retained as the oracle for
+// TestInterpretMatchesLaneReference.
 func evalLane(src *Source, mem map[string][]byte, e Expr, base, i, lanes, elem int) (uint64, error) {
 	mask := vecmath.Mask(elem)
 	switch v := e.(type) {

@@ -1,0 +1,59 @@
+package cores
+
+import (
+	"testing"
+
+	"conduit/internal/isa"
+	"conduit/internal/sim"
+)
+
+// TestExecSteadyStateAllocs pins the allocation behavior of the ISP data
+// plane: with the caller returning consumed result buffers via Recycle
+// (as the ssd runtime does after copying them into DRAM), a vector
+// operation allocates nothing in steady state.
+func TestExecSteadyStateAllocs(t *testing.T) {
+	c, cfg, _ := newTestCore()
+	a := make([]byte, cfg.PageSize)
+	b := make([]byte, cfg.PageSize)
+	for i := range a {
+		a[i] = byte(i)
+		b[i] = byte(i * 7)
+	}
+	srcs := [][]byte{a, b}
+
+	var now sim.Time
+	exec := func() {
+		out, done, err := c.Exec(now, now, isa.OpAdd, srcs, 4, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+		c.Recycle(out)
+	}
+	exec() // warm the free list
+	if got := testing.AllocsPerRun(50, exec); got > 0 {
+		t.Fatalf("steady-state Exec allocates %.1f objects/op, want 0", got)
+	}
+}
+
+// TestExecStreamingSteadyStateAllocs covers the streaming path the ssd
+// runtime actually uses for vectorized instructions.
+func TestExecStreamingSteadyStateAllocs(t *testing.T) {
+	c, cfg, _ := newTestCore()
+	a := make([]byte, cfg.PageSize)
+	srcs := [][]byte{a}
+
+	var now sim.Time
+	exec := func() {
+		out, done, err := c.ExecStreaming(now, now, isa.OpNot, srcs, 1, false, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+		c.Recycle(out)
+	}
+	exec()
+	if got := testing.AllocsPerRun(50, exec); got > 0 {
+		t.Fatalf("steady-state ExecStreaming allocates %.1f objects/op, want 0", got)
+	}
+}

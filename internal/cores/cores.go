@@ -3,6 +3,7 @@ package cores
 import (
 	"fmt"
 
+	"conduit/internal/arena"
 	"conduit/internal/config"
 	"conduit/internal/energy"
 	"conduit/internal/isa"
@@ -72,13 +73,34 @@ type Core struct {
 	en  *energy.Account
 	cal *sim.Calendar
 
+	// pool recycles page-sized result buffers. A result returned by Exec
+	// is freshly allocated (private) until the caller stores it; callers
+	// that copy the result onward (the ssd runtime writes it into DRAM,
+	// which copies) hand the buffer back via Recycle.
+	pool *arena.Pool
+
 	vecOps, scalarOps, cycles int64
 }
 
 // New returns the compute core for cfg, charging energy to en.
 func New(cfg *config.SSD, en *energy.Account) *Core {
-	return &Core{cfg: cfg, en: en, cal: sim.NewCalendar("isp-core")}
+	return &Core{cfg: cfg, en: en, cal: sim.NewCalendar("isp-core"), pool: arena.New(cfg.PageSize)}
 }
+
+// outBuffer returns a result buffer of the given size, recycling dead
+// page-sized buffers. Every operation fully overwrites its result, so
+// stale contents are fine.
+func (c *Core) outBuffer(size int) []byte {
+	if size == c.pool.Size() {
+		return c.pool.Get()
+	}
+	return make([]byte, size)
+}
+
+// Recycle returns a dead result buffer to the core's free list. Only call
+// it with a buffer obtained from Exec/ExecStreaming/ExecUnvectorized that
+// nothing else references (e.g. after copying it into DRAM).
+func (c *Core) Recycle(b []byte) { c.pool.Put(b) }
 
 // Calendar exposes the core's timing calendar (for queue-delay observation
 // by offloading policies).
@@ -121,8 +143,9 @@ func (c *Core) Exec(now, ready sim.Time, op isa.Op, srcs [][]byte, elem int, use
 	c.cycles += cyc
 	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
 
-	out := make([]byte, size)
+	out := c.outBuffer(size)
 	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
+		c.pool.Put(out)
 		return nil, 0, err
 	}
 	return out, done, nil
@@ -162,8 +185,9 @@ func (c *Core) ExecStreaming(now, ready sim.Time, op isa.Op, srcs [][]byte, elem
 	c.cycles += cyc
 	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
 
-	out := make([]byte, size)
+	out := c.outBuffer(size)
 	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
+		c.pool.Put(out)
 		return nil, 0, err
 	}
 	return out, done, nil
@@ -188,8 +212,9 @@ func (c *Core) ExecUnvectorized(now, ready sim.Time, op isa.Op, srcs [][]byte, e
 	c.cycles += cyc
 	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
 
-	out := make([]byte, size)
+	out := c.outBuffer(size)
 	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
+		c.pool.Put(out)
 		return nil, 0, err
 	}
 	return out, done, nil
@@ -208,11 +233,13 @@ func (c *Core) ExecScalar(now, ready sim.Time, cyc int64) (sim.Time, error) {
 }
 
 // Clone returns an independent copy of the core (calendar and counters),
-// charging future energy to en.
+// charging future energy to en. The clone gets its own empty buffer pool:
+// free lists hold only dead buffers and are never shared.
 func (c *Core) Clone(en *energy.Account) *Core {
 	cp := *c
 	cp.en = en
 	cp.cal = c.cal.Clone()
+	cp.pool = arena.New(c.cfg.PageSize)
 	return &cp
 }
 
@@ -225,102 +252,77 @@ func (c *Core) Stats() map[string]int64 {
 	}
 }
 
-// apply computes the functional result of op. It is shared with the host
-// models via Apply.
+// kernelOp maps a binary vector IR operation onto the shared vecmath
+// kernel vocabulary (the specialized, word-parallel data plane).
+func kernelOp(op isa.Op) (vecmath.Op, bool) {
+	switch op {
+	case isa.OpAnd:
+		return vecmath.OpAnd, true
+	case isa.OpOr:
+		return vecmath.OpOr, true
+	case isa.OpXor:
+		return vecmath.OpXor, true
+	case isa.OpNand:
+		return vecmath.OpNand, true
+	case isa.OpNor:
+		return vecmath.OpNor, true
+	case isa.OpAdd:
+		return vecmath.OpAdd, true
+	case isa.OpSub:
+		return vecmath.OpSub, true
+	case isa.OpMul:
+		return vecmath.OpMul, true
+	case isa.OpDiv:
+		return vecmath.OpDiv, true
+	case isa.OpLT:
+		return vecmath.OpLT, true
+	case isa.OpGT:
+		return vecmath.OpGT, true
+	case isa.OpEQ:
+		return vecmath.OpEQ, true
+	case isa.OpMin:
+		return vecmath.OpMin, true
+	case isa.OpMax:
+		return vecmath.OpMax, true
+	default:
+		return 0, false
+	}
+}
+
+// apply computes the functional result of op through the specialized
+// vecmath kernels (one dispatch per page, no per-element closures). It is
+// shared with the host models via Apply. Every path fully overwrites out.
 func apply(op isa.Op, out []byte, srcs [][]byte, elem int, useImm bool, imm uint64) error {
 	vecmath.CheckElem(elem)
-	bin := func(f func(x, y uint64) uint64) error {
+	if k, ok := kernelOp(op); ok {
 		if useImm {
-			vecmath.BinaryImm(out, srcs[0], elem, imm&vecmath.Mask(elem), f)
-			return nil
+			vecmath.ApplyImm(k, out, srcs[0], elem, imm)
+		} else {
+			vecmath.Apply(k, out, srcs[0], srcs[1], elem)
 		}
-		vecmath.Binary(out, srcs[0], srcs[1], elem, f)
 		return nil
 	}
 	switch op {
-	case isa.OpAnd:
-		return bin(func(x, y uint64) uint64 { return x & y })
-	case isa.OpOr:
-		return bin(func(x, y uint64) uint64 { return x | y })
-	case isa.OpXor:
-		return bin(func(x, y uint64) uint64 { return x ^ y })
-	case isa.OpNand:
-		return bin(func(x, y uint64) uint64 { return ^(x & y) })
-	case isa.OpNor:
-		return bin(func(x, y uint64) uint64 { return ^(x | y) })
 	case isa.OpNot:
-		vecmath.Unary(out, srcs[0], elem, func(x uint64) uint64 { return ^x })
-	case isa.OpAdd:
-		return bin(func(x, y uint64) uint64 { return x + y })
-	case isa.OpSub:
-		return bin(func(x, y uint64) uint64 { return x - y })
-	case isa.OpMul:
-		return bin(func(x, y uint64) uint64 { return x * y })
-	case isa.OpDiv:
-		return bin(func(x, y uint64) uint64 {
-			if y == 0 {
-				return vecmath.Mask(elem) // saturate on division by zero
-			}
-			return x / y
-		})
+		vecmath.ApplyUnary(vecmath.OpNot, out, srcs[0], elem, 0)
 	case isa.OpShl:
-		vecmath.Unary(out, srcs[0], elem, func(x uint64) uint64 { return x << imm })
+		vecmath.ApplyUnary(vecmath.OpShl, out, srcs[0], elem, imm)
 	case isa.OpShr:
-		vecmath.Unary(out, srcs[0], elem, func(x uint64) uint64 { return x >> imm })
-	case isa.OpLT:
-		return bin(func(x, y uint64) uint64 {
-			return vecmath.Bool(vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem), elem)
-		})
-	case isa.OpGT:
-		return bin(func(x, y uint64) uint64 {
-			return vecmath.Bool(vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem), elem)
-		})
-	case isa.OpEQ:
-		return bin(func(x, y uint64) uint64 { return vecmath.Bool(x == y, elem) })
-	case isa.OpMin:
-		return bin(func(x, y uint64) uint64 {
-			if vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem) {
-				return x
-			}
-			return y
-		})
-	case isa.OpMax:
-		return bin(func(x, y uint64) uint64 {
-			if vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem) {
-				return x
-			}
-			return y
-		})
+		vecmath.ApplyUnary(vecmath.OpShr, out, srcs[0], elem, imm)
 	case isa.OpSelect:
-		mask, a := srcs[0], srcs[1]
-		var b []byte
 		if useImm {
-			b = make([]byte, len(out))
-			vecmath.Broadcast(b, elem, imm)
+			vecmath.SelectImm(out, srcs[0], srcs[1], elem, imm)
 		} else {
-			b = srcs[2]
-		}
-		n := len(out) / elem
-		for i := 0; i < n; i++ {
-			if vecmath.Load(mask, i, elem) != 0 {
-				vecmath.Store(out, i, elem, vecmath.Load(a, i, elem))
-			} else {
-				vecmath.Store(out, i, elem, vecmath.Load(b, i, elem))
-			}
+			vecmath.Select(out, srcs[0], srcs[1], srcs[2], elem)
 		}
 	case isa.OpCopy:
 		copy(out, srcs[0])
 	case isa.OpBroadcast:
 		vecmath.Broadcast(out, elem, imm)
 	case isa.OpReduceAdd:
-		sum := vecmath.ReduceAdd(srcs[0], elem)
-		vecmath.Broadcast(out, elem, sum)
+		vecmath.Broadcast(out, elem, vecmath.ReduceAdd(srcs[0], elem))
 	case isa.OpShuffle:
-		n := len(out) / elem
-		rot := int(imm) % n
-		for i := 0; i < n; i++ {
-			vecmath.Store(out, i, elem, vecmath.Load(srcs[0], (i+rot)%n, elem))
-		}
+		vecmath.Shuffle(out, srcs[0], elem, int(imm))
 	default:
 		return fmt.Errorf("cores: unknown op %v", op)
 	}

@@ -2,7 +2,9 @@ package dram
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"conduit/internal/arena"
 	"conduit/internal/config"
 	"conduit/internal/energy"
 	"conduit/internal/sim"
@@ -118,6 +120,21 @@ type Module struct {
 	slots    map[int][]byte
 	capacity int
 
+	// pool recycles dead page payloads; priv marks slots whose current
+	// payload this module instance allocated and has not shared. Payloads
+	// are replace-on-write (see Clone), so a slot's payload may be
+	// recycled on replacement or invalidation only while its priv bit
+	// holds. shared is raised by Clone (which may run concurrently with
+	// other Clones of the same module, hence the atomic); the next
+	// mutation drops every priv bit, because the clone now references
+	// the same payloads.
+	pool   *arena.Pool
+	priv   map[int]bool
+	shared atomic.Bool
+
+	// valScratch is the reusable operand-pointer slice of Exec.
+	valScratch [][]byte
+
 	opImm uint64 // rotation/shift amount of the in-flight operation
 
 	bbops, reads, writes int64
@@ -140,8 +157,35 @@ func NewModule(cfg *config.SSD, en *energy.Account) *Module {
 		bus:      sim.NewCalendar("dram-bus"),
 		slots:    make(map[int][]byte),
 		capacity: capacity,
+		pool:     arena.New(cfg.PageSize),
+		priv:     make(map[int]bool),
 	}
 }
+
+// unshare lazily drops payload privacy after a Clone: every payload that
+// existed at clone time is now referenced by the clone too, so none of
+// them may be recycled.
+func (m *Module) unshare() {
+	if m.shared.Load() {
+		m.shared.Store(false)
+		clear(m.priv)
+	}
+}
+
+// setSlot installs a freshly allocated (private) payload into slot,
+// recycling the payload it replaces when that one is provably unshared.
+func (m *Module) setSlot(slot int, data []byte) {
+	m.unshare()
+	if old, ok := m.slots[slot]; ok && m.priv[slot] {
+		m.pool.Put(old)
+	}
+	m.slots[slot] = data
+	m.priv[slot] = true
+}
+
+// Recycle returns a dead page buffer to the module's free list. Only call
+// it with a buffer obtained from Read/Data that nothing else references.
+func (m *Module) Recycle(b []byte) { m.pool.Put(b) }
 
 // Capacity reports the number of page-sized slots.
 func (m *Module) Capacity() int { return m.capacity }
@@ -165,7 +209,7 @@ func (m *Module) Write(now, ready sim.Time, slot int, data []byte) sim.Time {
 		panic(fmt.Sprintf("dram: write size %d != page size %d", len(data), m.cfg.PageSize))
 	}
 	_, done := m.bus.Reserve(now, ready, m.cfg.DRAMTransferTime(len(data)))
-	m.slots[slot] = append([]byte(nil), data...)
+	m.setSlot(slot, m.pool.GetCopy(data))
 	m.writes++
 	m.bytesMoved += int64(len(data))
 	m.en.Move("dram-bus", float64(len(data))*m.cfg.EDRAMPerByte)
@@ -187,9 +231,9 @@ func (m *Module) Read(now, ready sim.Time, slot int) ([]byte, sim.Time) {
 func (m *Module) Data(slot int) []byte {
 	m.checkSlot(slot)
 	if d, ok := m.slots[slot]; ok {
-		return append([]byte(nil), d...)
+		return m.pool.GetCopy(d)
 	}
-	return make([]byte, m.cfg.PageSize)
+	return m.pool.GetZeroed()
 }
 
 // Populated reports whether the slot has been written.
@@ -198,8 +242,16 @@ func (m *Module) Populated(slot int) bool {
 	return ok
 }
 
-// Invalidate drops slot contents (eviction).
-func (m *Module) Invalidate(slot int) { delete(m.slots, slot) }
+// Invalidate drops slot contents (eviction), recycling the payload when
+// it is provably unshared.
+func (m *Module) Invalidate(slot int) {
+	m.unshare()
+	if old, ok := m.slots[slot]; ok && m.priv[slot] {
+		m.pool.Put(old)
+	}
+	delete(m.slots, slot)
+	delete(m.priv, slot)
+}
 
 // Exec performs op on the source slots, writing the result slot. srcs must
 // match op.Arity(); for OpSelect the sources are (mask, a, b) and each lane
@@ -220,12 +272,25 @@ func (m *Module) Exec(now, ready sim.Time, op Op, dst int, srcs []int, elem int,
 		m.opImm = imm
 		useImm = false
 	}
-	vals := make([][]byte, arity)
+	// With useImm the final operand is a broadcast immediate; the kernels
+	// consume it directly, so no broadcast page is materialized.
+	nvals := arity
+	if useImm {
+		nvals--
+	}
+	if cap(m.valScratch) < nvals {
+		m.valScratch = make([][]byte, nvals)
+	}
+	vals := m.valScratch[:nvals]
+	// Drop the borrowed payload references on every exit (including error
+	// returns) so the scratch slice never pins a dead page against GC.
+	defer func() {
+		for i := range vals {
+			vals[i] = nil
+		}
+	}()
 	for i, s := range srcs {
 		if useImm && i == arity-1 {
-			b := make([]byte, m.cfg.PageSize)
-			vecmath.Broadcast(b, elem, imm)
-			vals[i] = b
 			continue
 		}
 		m.checkSlot(s)
@@ -240,79 +305,85 @@ func (m *Module) Exec(now, ready sim.Time, op Op, dst int, srcs []int, elem int,
 	m.bbops += int64(rounds)
 	m.en.Compute("pud", float64(rounds)*m.cfg.EBbop)
 
-	out := make([]byte, m.cfg.PageSize)
-	m.apply(op, out, vals, elem)
-	m.slots[dst] = out
+	out := m.pool.Get() // fully overwritten by apply
+	m.apply(op, out, vals, elem, useImm, imm)
+	m.setSlot(dst, out)
 	return done, nil
 }
 
-func (m *Module) apply(op Op, out []byte, vals [][]byte, elem int) {
+// kernelOp maps a PuD operation onto the shared vecmath kernel
+// vocabulary (binary operations only; movement and unary operations are
+// dispatched directly in apply).
+func kernelOp(op Op) (vecmath.Op, bool) {
+	switch op {
+	case OpAnd:
+		return vecmath.OpAnd, true
+	case OpOr:
+		return vecmath.OpOr, true
+	case OpXor:
+		return vecmath.OpXor, true
+	case OpNand:
+		return vecmath.OpNand, true
+	case OpNor:
+		return vecmath.OpNor, true
+	case OpAdd:
+		return vecmath.OpAdd, true
+	case OpSub:
+		return vecmath.OpSub, true
+	case OpMul:
+		return vecmath.OpMul, true
+	case OpLT:
+		return vecmath.OpLT, true
+	case OpGT:
+		return vecmath.OpGT, true
+	case OpEQ:
+		return vecmath.OpEQ, true
+	case OpMin:
+		return vecmath.OpMin, true
+	case OpMax:
+		return vecmath.OpMax, true
+	default:
+		return 0, false
+	}
+}
+
+// apply computes the functional result of op through the specialized
+// vecmath kernels. vals excludes the immediate operand when useImm is
+// set. Every path fully overwrites out.
+func (m *Module) apply(op Op, out []byte, vals [][]byte, elem int, useImm bool, imm uint64) {
+	if k, ok := kernelOp(op); ok {
+		if useImm {
+			vecmath.ApplyImm(k, out, vals[0], elem, imm)
+		} else {
+			vecmath.Apply(k, out, vals[0], vals[1], elem)
+		}
+		return
+	}
 	switch op {
 	case OpCopy:
-		copy(out, vals[0])
+		if useImm {
+			vecmath.Broadcast(out, elem, imm) // isa.OpBroadcast lowers to an immediate copy
+		} else {
+			copy(out, vals[0])
+		}
 	case OpNot:
-		vecmath.Unary(out, vals[0], elem, func(x uint64) uint64 { return ^x })
-	case OpAnd:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x & y })
-	case OpOr:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x | y })
-	case OpNand:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return ^(x & y) })
-	case OpNor:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return ^(x | y) })
-	case OpXor:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x ^ y })
-	case OpAdd:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x + y })
-	case OpSub:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x - y })
-	case OpMul:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 { return x * y })
-	case OpLT:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
-			return vecmath.Bool(vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem), elem)
-		})
-	case OpGT:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
-			return vecmath.Bool(vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem), elem)
-		})
-	case OpEQ:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
-			return vecmath.Bool(x == y, elem)
-		})
-	case OpMin:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
-			if vecmath.ToSigned(x, elem) < vecmath.ToSigned(y, elem) {
-				return x
-			}
-			return y
-		})
-	case OpMax:
-		vecmath.Binary(out, vals[0], vals[1], elem, func(x, y uint64) uint64 {
-			if vecmath.ToSigned(x, elem) > vecmath.ToSigned(y, elem) {
-				return x
-			}
-			return y
-		})
+		if useImm {
+			vecmath.Broadcast(out, elem, ^imm&vecmath.Mask(elem))
+		} else {
+			vecmath.ApplyUnary(vecmath.OpNot, out, vals[0], elem, 0)
+		}
 	case OpSelect:
-		n := len(out) / elem
-		for i := 0; i < n; i++ {
-			if vecmath.Load(vals[0], i, elem) != 0 {
-				vecmath.Store(out, i, elem, vecmath.Load(vals[1], i, elem))
-			} else {
-				vecmath.Store(out, i, elem, vecmath.Load(vals[2], i, elem))
-			}
+		if useImm {
+			vecmath.SelectImm(out, vals[0], vals[1], elem, imm)
+		} else {
+			vecmath.Select(out, vals[0], vals[1], vals[2], elem)
 		}
 	case OpShuffle:
-		n := len(out) / elem
-		rot := int(m.opImm) % n
-		for i := 0; i < n; i++ {
-			vecmath.Store(out, i, elem, vecmath.Load(vals[0], (i+rot)%n, elem))
-		}
+		vecmath.Shuffle(out, vals[0], elem, int(m.opImm))
 	case OpShl:
-		vecmath.Unary(out, vals[0], elem, func(x uint64) uint64 { return x << m.opImm })
+		vecmath.ApplyUnary(vecmath.OpShl, out, vals[0], elem, m.opImm)
 	case OpShr:
-		vecmath.Unary(out, vals[0], elem, func(x uint64) uint64 { return x >> m.opImm })
+		vecmath.ApplyUnary(vecmath.OpShr, out, vals[0], elem, m.opImm)
 	default:
 		panic(fmt.Sprintf("dram: unknown op %d", op))
 	}
@@ -333,6 +404,8 @@ func (m *Module) Clone(en *energy.Account) *Module {
 		bus:        m.bus.Clone(),
 		slots:      make(map[int][]byte, len(m.slots)),
 		capacity:   m.capacity,
+		pool:       arena.New(m.cfg.PageSize),
+		priv:       make(map[int]bool),
 		opImm:      m.opImm,
 		bbops:      m.bbops,
 		reads:      m.reads,
@@ -342,6 +415,11 @@ func (m *Module) Clone(en *energy.Account) *Module {
 	for s, d := range m.slots {
 		c.slots[s] = d // payloads are replace-on-write; see doc comment
 	}
+	// Payloads are now referenced from both modules: the original must stop
+	// recycling them on replacement. The flag (not a direct priv wipe)
+	// keeps Clone read-only on m, so concurrent Clones of one module stay
+	// safe; m applies it at its next mutation.
+	m.shared.Store(true)
 	return c
 }
 
@@ -351,7 +429,7 @@ func (m *Module) SetSlotForTest(slot int, data []byte) {
 	if len(data) != m.cfg.PageSize {
 		panic("dram: SetSlotForTest size mismatch")
 	}
-	m.slots[slot] = append([]byte(nil), data...)
+	m.setSlot(slot, m.pool.GetCopy(data))
 }
 
 // Stats reports operation counts for experiment tables.

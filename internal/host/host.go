@@ -3,6 +3,7 @@ package host
 import (
 	"fmt"
 
+	"conduit/internal/arena"
 	"conduit/internal/config"
 	"conduit/internal/cores"
 	"conduit/internal/energy"
@@ -124,16 +125,23 @@ func (m *Model) Run(prog *isa.Program, inputs map[isa.PageID][]byte) (*Result, m
 	cached := make(map[isa.PageID]int64, cacheCap)
 	var tick int64
 
+	// Page buffers are run-local: every mem payload is allocated by this
+	// run (inputs are copied in), so a payload replaced by a later write
+	// to the same page is dead and goes back to the pool.
+	pool := arena.New(cfg.PageSize)
 	mem := make(map[isa.PageID][]byte, prog.Pages)
 	load := func(p isa.PageID) []byte {
 		if b, ok := mem[p]; ok {
 			return b
 		}
 		var b []byte
-		if in, ok := inputs[p]; ok {
-			b = append([]byte(nil), in...)
+		if in, ok := inputs[p]; ok && len(in) == cfg.PageSize {
+			b = pool.GetCopy(in)
+		} else if ok {
+			b = pool.GetZeroed()
+			copy(b, in)
 		} else {
-			b = make([]byte, cfg.PageSize)
+			b = pool.GetZeroed()
 		}
 		mem[p] = b
 		return b
@@ -160,6 +168,7 @@ func (m *Model) Run(prog *isa.Program, inputs map[isa.PageID][]byte) (*Result, m
 
 	var elapsed sim.Time
 	var pcieBytes int64
+	var srcs [][]byte // reused operand-pointer scratch
 	for i := range prog.Insts {
 		inst := &prog.Insts[i]
 		var pcie, hostMem sim.Time
@@ -205,13 +214,16 @@ func (m *Model) Run(prog *isa.Program, inputs map[isa.PageID][]byte) (*Result, m
 
 		// Functional execution for verification.
 		if inst.Op != isa.OpScalar && inst.Dst != isa.NoPage {
-			srcs := make([][]byte, 0, len(inst.Srcs))
+			srcs = srcs[:0]
 			for _, s := range inst.Srcs {
 				srcs = append(srcs, load(s))
 			}
-			out := make([]byte, cfg.PageSize)
+			out := pool.Get() // fully overwritten by Apply
 			if err := cores.Apply(inst.Op, out, srcs, inst.Elem, inst.UseImm, inst.Imm); err != nil {
 				return nil, nil, fmt.Errorf("host: inst %d: %w", i, err)
+			}
+			if old, ok := mem[inst.Dst]; ok {
+				pool.Put(old) // replaced value is dead (reads above are done)
 			}
 			mem[inst.Dst] = out
 		}

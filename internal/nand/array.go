@@ -6,6 +6,7 @@ import (
 	"conduit/internal/config"
 	"conduit/internal/energy"
 	"conduit/internal/sim"
+	"conduit/internal/vecmath"
 )
 
 // pageState tracks the lifecycle of one physical page.
@@ -304,26 +305,23 @@ func (a *Array) Bitwise(now, ready sim.Time, op BitOp, ops []Operand) (sim.Time,
 	a.mwsOps++
 	_, done := die.Reserve(now, ready, dur)
 
-	// Functional result.
+	// Functional result, through the word-parallel vecmath kernels
+	// (bitwise operations are element-width independent).
 	out := make([]byte, a.cfg.PageSize)
 	copy(out, vals[0])
 	for _, v := range vals[1:] {
-		for i := range out {
-			switch op {
-			case BitAnd, BitNand:
-				out[i] &= v[i]
-			case BitOr, BitNor:
-				out[i] |= v[i]
-			case BitXor, BitXnor:
-				out[i] ^= v[i]
-			}
+		switch op {
+		case BitAnd, BitNand:
+			vecmath.Apply(vecmath.OpAnd, out, out, v, 1)
+		case BitOr, BitNor:
+			vecmath.Apply(vecmath.OpOr, out, out, v, 1)
+		case BitXor, BitXnor:
+			vecmath.Apply(vecmath.OpXor, out, out, v, 1)
 		}
 	}
 	switch op {
 	case BitNand, BitNor, BitXnor, BitNot:
-		for i := range out {
-			out[i] = ^out[i]
-		}
+		vecmath.ApplyUnary(vecmath.OpNot, out, out, 1, 0)
 	}
 	buf.Data = out
 	buf.Valid = true
@@ -394,25 +392,19 @@ func (a *Array) Arith(now, ready sim.Time, op ArithOp, x, y Operand, elem int, i
 			float64(rounds)*a.cfg.ELatchPerKB*float64(a.cfg.PageSize)/1024)
 	_, done := die.Reserve(now, ready, dur)
 
-	// Functional result.
+	// Functional result, through the monomorphized vecmath kernels.
 	out := make([]byte, a.cfg.PageSize)
-	n := a.cfg.PageSize / elem
-	for i := 0; i < n; i++ {
-		xv := loadElem(vals[0], i, elem)
-		var r uint64
-		switch op {
-		case ArithAdd:
-			r = xv + loadElem(vals[1], i, elem)
-		case ArithSub:
-			r = xv - loadElem(vals[1], i, elem)
-		case ArithMul:
-			r = xv * loadElem(vals[1], i, elem)
-		case ArithShl:
-			r = xv << imm
-		case ArithShr:
-			r = xv >> imm
-		}
-		storeElem(out, i, elem, r)
+	switch op {
+	case ArithAdd:
+		vecmath.Apply(vecmath.OpAdd, out, vals[0], vals[1], elem)
+	case ArithSub:
+		vecmath.Apply(vecmath.OpSub, out, vals[0], vals[1], elem)
+	case ArithMul:
+		vecmath.Apply(vecmath.OpMul, out, vals[0], vals[1], elem)
+	case ArithShl:
+		vecmath.ApplyUnary(vecmath.OpShl, out, vals[0], elem, uint64(imm))
+	case ArithShr:
+		vecmath.ApplyUnary(vecmath.OpShr, out, vals[0], elem, uint64(imm))
 	}
 	buf.Data = out
 	buf.Valid = true
@@ -530,6 +522,9 @@ func (a *Array) Stats() map[string]int64 {
 		"ecc_failures":    a.eccFailures,
 	}
 }
+
+// loadElem and storeElem are the lane-serial element accessors retained
+// for the package tests' independent functional oracle.
 
 func loadElem(p []byte, i, elem int) uint64 {
 	off := i * elem

@@ -99,9 +99,23 @@ func (c *Calendar) Clone() *Calendar {
 // Group is a pool of identical parallel resources (e.g. the dies behind one
 // channel, the banks of a DRAM rank) with FIFO selection of the earliest
 // available member.
+//
+// The earliest member is cached between reservations: offloading policies
+// read QueueDelay on every instruction, and rescanning a 16-wide group per
+// read is pure waste when nothing was reserved in between. The cache is
+// keyed on the cached member's horizon, which a reservation necessarily
+// advances — so a Reserve (through the group or directly on the cached
+// member) invalidates it, and since horizons only ever grow, a member that
+// was not the minimum can never become it without the cached entry moving
+// first. Resetting an individual member directly (Member(i).Reset())
+// would violate that monotonicity; reset groups with Group.Reset.
 type Group struct {
 	name    string
 	members []*Calendar
+
+	minIdx int  // cached index of the earliest member, when minOK
+	minHor Time // that member's horizon at cache time
+	minOK  bool
 }
 
 // NewGroup creates a pool of n identical calendars.
@@ -122,14 +136,19 @@ func (g *Group) Size() int { return len(g.members) }
 // Member returns the i'th member calendar.
 func (g *Group) Member(i int) *Calendar { return g.members[i] }
 
-// Earliest returns the member with the smallest horizon.
+// Earliest returns the member with the smallest horizon (FIFO tie-break:
+// the lowest index among equal minima, identical to a full scan).
 func (g *Group) Earliest() *Calendar {
-	best := g.members[0]
-	for _, m := range g.members[1:] {
+	if g.minOK && g.members[g.minIdx].horizon == g.minHor {
+		return g.members[g.minIdx]
+	}
+	best, bestIdx := g.members[0], 0
+	for i, m := range g.members[1:] {
 		if m.horizon < best.horizon {
-			best = m
+			best, bestIdx = m, i+1
 		}
 	}
+	g.minIdx, g.minHor, g.minOK = bestIdx, best.horizon, true
 	return best
 }
 
@@ -152,16 +171,19 @@ func (g *Group) Utilization(now Time) float64 {
 	return sum / float64(len(g.members))
 }
 
-// Reset clears every member.
+// Reset clears every member and the earliest-member cache.
 func (g *Group) Reset() {
 	for _, m := range g.members {
 		m.Reset()
 	}
+	g.minOK = false
 }
 
-// Clone returns an independent copy of the group and all its members.
+// Clone returns an independent copy of the group and all its members. The
+// cache carries over: the clone's members have identical horizons.
 func (g *Group) Clone() *Group {
-	ng := &Group{name: g.name, members: make([]*Calendar, len(g.members))}
+	ng := &Group{name: g.name, members: make([]*Calendar, len(g.members)),
+		minIdx: g.minIdx, minHor: g.minHor, minOK: g.minOK}
 	for i, m := range g.members {
 		ng.members[i] = m.Clone()
 	}

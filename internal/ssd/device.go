@@ -78,6 +78,10 @@ type Device struct {
 	// queries during eviction).
 	curInst int
 
+	// srcScratch is the reusable operand-pointer slice of the execute
+	// paths (cleared after each instruction; never cloned).
+	srcScratch [][]byte
+
 	// Fault injection: instruction ID -> remaining failures to inject.
 	faults map[int]int
 

@@ -84,6 +84,7 @@ func (d *Device) ensureInDRAM(now, ready sim.Time, s isa.PageID) (int, sim.Time,
 		avail = evictDone
 	}
 	done := d.DRAM.Write(now, avail, slot, data)
+	d.DRAM.Recycle(data) // the DRAM write copied it
 	d.dramSlot[s] = slot
 	d.slotOwner[slot] = s
 	d.touchSlot(slot)
@@ -115,6 +116,7 @@ func (d *Device) allocSlot(now sim.Time) (int, sim.Time, error) {
 		if err != nil {
 			return 0, 0, fmt.Errorf("ssd: evicting page %d: %w", page, err)
 		}
+		d.DRAM.Recycle(data) // the flash program copied it
 		d.Dir.Sync(int(page), coherence.SyncEviction)
 		if wdone > d.pageReady[page] {
 			d.pageReady[page] = wdone
@@ -175,6 +177,7 @@ func (d *Device) flushBeforeWrap(p isa.PageID) error {
 		if err != nil {
 			return err
 		}
+		d.DRAM.Recycle(data) // the flash program copied it
 		d.pageReady[p] = done
 	case coherence.LocBuffer:
 		plane := d.bufferPlane(p)
@@ -200,7 +203,15 @@ func (d *Device) clearBufferTag(p isa.PageID) {
 // --- ISP --------------------------------------------------------------------
 
 func (d *Device) executeISP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, error) {
-	srcs := make([][]byte, 0, len(inst.Srcs))
+	srcs := d.srcScratch[:0]
+	// Drop buffer references on every exit (including error returns) so
+	// the scratch slice never pins a dead operand copy against GC.
+	defer func() {
+		for i := range srcs {
+			srcs[i] = nil
+		}
+		d.srcScratch = srcs[:0]
+	}()
 	for _, s := range inst.Srcs {
 		slot, avail, err := d.ensureInDRAM(issue, d.pageReady[s], s)
 		if err != nil {
@@ -227,6 +238,12 @@ func (d *Device) executeISP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 	if err != nil {
 		return 0, err
 	}
+	// The operand copies are private to this instruction; the core has
+	// consumed them, so they go back to the free list (the deferred
+	// cleanup drops the references).
+	for i := range srcs {
+		d.DRAM.Recycle(srcs[i])
+	}
 	slot, evictDone, err := d.claimDstSlot(issue, inst.Dst)
 	if err != nil {
 		return 0, err
@@ -235,6 +252,7 @@ func (d *Device) executeISP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 		done = evictDone
 	}
 	done = d.DRAM.Write(issue, done, slot, out)
+	d.Core.Recycle(out) // the DRAM write copied it
 	if err := d.markModifiedDRAM(inst.Dst, done); err != nil {
 		return 0, err
 	}
@@ -340,6 +358,7 @@ func (d *Device) executeIFP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 						return 0, err
 					}
 					wdone := d.DRAM.Write(issue, maxT(rdone, edone), slot, data)
+					d.DRAM.Recycle(data) // the DRAM write copied it
 					d.dramSlot[s] = slot
 					d.slotOwner[slot] = s
 					d.touchSlot(slot)
@@ -393,6 +412,7 @@ func (d *Device) executeIFP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 				return 0, err
 			}
 			wdone := d.DRAM.Write(issue, maxT(rdone, edone), slot, data)
+			d.DRAM.Recycle(data) // the DRAM write copied it
 			d.dramSlot[tag] = slot
 			d.slotOwner[slot] = tag
 			d.touchSlot(slot)
@@ -424,6 +444,14 @@ func (d *Device) executeIFP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 	}
 	if err != nil {
 		return 0, err
+	}
+	// The latch-loaded operand copies are private to this instruction and
+	// have been consumed by the in-flash operation.
+	for i := range operands {
+		if operands[i].Data != nil {
+			d.DRAM.Recycle(operands[i].Data)
+			operands[i].Data = nil
+		}
 	}
 
 	// The consumed latch operand's latest version now lives in its DRAM

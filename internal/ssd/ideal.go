@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 
+	"conduit/internal/arena"
 	"conduit/internal/cores"
 	"conduit/internal/dram"
 	"conduit/internal/ftl"
@@ -25,6 +26,10 @@ func (d *Device) RunIdeal() (*Result, map[isa.PageID][]byte, error) {
 		return nil, nil, fmt.Errorf("ssd: no program loaded")
 	}
 	cfg := &d.Cfg.SSD
+	// Page buffers are run-local (flash contents are copied in), so a
+	// payload replaced by a later write to the same page is dead and goes
+	// back to the pool.
+	pool := arena.New(cfg.PageSize)
 	mem := make(map[isa.PageID][]byte, d.prog.Pages)
 	load := func(p isa.PageID) []byte {
 		if b, ok := mem[p]; ok {
@@ -34,13 +39,14 @@ func (d *Device) RunIdeal() (*Result, map[isa.PageID][]byte, error) {
 		if addr, ok := d.FTL.PhysAddr(ftl.LPN(p)); ok {
 			b = d.Flash.PageData(addr)
 		} else {
-			b = make([]byte, cfg.PageSize)
+			b = pool.GetZeroed()
 		}
 		mem[p] = b
 		return b
 	}
 
 	ready := make([]sim.Time, d.prog.Pages)
+	var srcs [][]byte // reused operand-pointer scratch
 	lat := stats.NewReservoir()
 	decisions := make([]Decision, 0, len(d.prog.Insts))
 	var elapsed sim.Time
@@ -62,14 +68,17 @@ func (d *Device) RunIdeal() (*Result, map[isa.PageID][]byte, error) {
 		computeEnergy += d.idealComputeEnergy(inst, choice)
 		done := start + comp
 		if inst.Dst != isa.NoPage {
-			// Functional execution via the shared kernel.
-			srcs := make([][]byte, 0, len(inst.Srcs))
+			// Functional execution via the shared kernels.
+			srcs = srcs[:0]
 			for _, s := range inst.Srcs {
 				srcs = append(srcs, load(s))
 			}
-			out := make([]byte, cfg.PageSize)
+			out := pool.Get() // fully overwritten by Apply
 			if err := cores.Apply(inst.Op, out, srcs, inst.Elem, inst.UseImm, inst.Imm); err != nil {
 				return nil, nil, fmt.Errorf("ssd: ideal inst %d: %w", i, err)
+			}
+			if old, ok := mem[inst.Dst]; ok {
+				pool.Put(old) // replaced value is dead (reads above are done)
 			}
 			mem[inst.Dst] = out
 			ready[inst.Dst] = done

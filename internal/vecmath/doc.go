@@ -7,4 +7,15 @@
 //
 // Elements are little-endian unsigned integers of 1, 2 or 4 bytes; signed
 // operations sign-extend explicitly.
+//
+// The package exposes two surfaces with identical semantics. The generic
+// primitives (Load, Store, Binary, Unary, BinaryImm, and the *Generic
+// dispatchers in reference.go) assemble each element byte by byte and
+// call a closure per element: they are the reference implementation. The
+// specialized kernels (Apply, ApplyImm, ApplyUnary, Select, SelectImm,
+// Shuffle, Broadcast, ReduceAdd) dispatch once per page through tables
+// keyed by (op, elem): the bitwise family runs 8 bytes per iteration over
+// uint64 words, everything else through monomorphized typed loops.
+// Differential tests prove the two surfaces byte-identical; the hot paths
+// use the kernels, the tests and benchmarks keep the reference honest.
 package vecmath

@@ -1,0 +1,262 @@
+package vecmath
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// binaryOps is every operation with a specialized binary kernel.
+var binaryOps = []Op{
+	OpAnd, OpOr, OpXor, OpNand, OpNor,
+	OpAdd, OpSub, OpMul, OpDiv, OpShl, OpShr,
+	OpLT, OpGT, OpEQ, OpMin, OpMax,
+}
+
+// immOps is every operation with a specialized broadcast-immediate kernel.
+var immOps = []Op{
+	OpAnd, OpOr, OpXor, OpNand, OpNor,
+	OpAdd, OpSub, OpMul, OpDiv,
+	OpLT, OpGT, OpEQ, OpMin, OpMax,
+}
+
+var elems = []int{1, 2, 4}
+
+// testLengths exercises word-kernel tails and odd element counts: zero,
+// sub-word, non-multiples of 8, a prime number of elements, and
+// page-like sizes. Lengths that are not element multiples additionally
+// prove the trailing bytes stay untouched.
+func testLengths(elem int) []int {
+	return []int{0, elem, 3 * elem, 7 * elem, 13 * elem, 64, 96, 1 << 10, 1<<10 + elem, 1<<10 + 1, 37}
+}
+
+// edgeBytes seeds lane patterns around signed boundaries: MinInt, -1,
+// zero, +1, MaxInt for every width, plus wraparound-prone values.
+var edgeBytes = []byte{0x00, 0x01, 0x7F, 0x80, 0x81, 0xFF, 0xFE, 0x55, 0xAA}
+
+func fillRand(r *rand.Rand, p []byte) {
+	for i := range p {
+		if r.Intn(3) == 0 {
+			p[i] = edgeBytes[r.Intn(len(edgeBytes))]
+		} else {
+			p[i] = byte(r.Uint32())
+		}
+	}
+}
+
+// checkKernel runs one specialized call against its reference on
+// identical inputs, including the guard bytes past the element region.
+func checkKernel(t *testing.T, label string, n int,
+	spec func(dst []byte), ref func(dst []byte)) {
+	t.Helper()
+	const guard = 0xC3
+	got := make([]byte, n)
+	want := make([]byte, n)
+	for i := range got {
+		got[i], want[i] = guard, guard
+	}
+	spec(got)
+	ref(want)
+	if !bytes.Equal(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: byte %d: specialized %#02x != reference %#02x", label, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBinaryKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, op := range binaryOps {
+		for _, elem := range elems {
+			for _, n := range testLengths(elem) {
+				a := make([]byte, n)
+				b := make([]byte, n)
+				fillRand(r, a)
+				fillRand(r, b)
+				label := fmt.Sprintf("%v/elem=%d/n=%d", op, elem, n)
+				checkKernel(t, label, n,
+					func(dst []byte) { Apply(op, dst, a, b, elem) },
+					func(dst []byte) { ApplyGeneric(op, dst, a, b, elem) })
+			}
+		}
+	}
+}
+
+func TestImmKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	imms := []uint64{0, 1, 2, 0x7F, 0x80, 0xFF, 0x8000, 0xFFFF, 0x7FFFFFFF, 0x80000000,
+		0xFFFFFFFF, 0xDEADBEEFCAFEF00D, ^uint64(0)}
+	for _, op := range immOps {
+		for _, elem := range elems {
+			for _, n := range testLengths(elem) {
+				a := make([]byte, n)
+				fillRand(r, a)
+				for _, imm := range imms {
+					label := fmt.Sprintf("%v/elem=%d/n=%d/imm=%#x", op, elem, n, imm)
+					checkKernel(t, label, n,
+						func(dst []byte) { ApplyImm(op, dst, a, elem, imm) },
+						func(dst []byte) { ApplyImmGeneric(op, dst, a, elem, imm) })
+				}
+			}
+		}
+	}
+}
+
+func TestUnaryKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Shift counts deliberately include >= lane width and >= 64: the raw
+	// count semantics must zero lanes identically on both paths.
+	shifts := []uint64{0, 1, 3, 7, 8, 15, 16, 31, 32, 63, 64, 1000, ^uint64(0)}
+	for _, op := range []Op{OpNot, OpShl, OpShr} {
+		for _, elem := range elems {
+			for _, n := range testLengths(elem) {
+				a := make([]byte, n)
+				fillRand(r, a)
+				for _, imm := range shifts {
+					label := fmt.Sprintf("%v/elem=%d/n=%d/imm=%d", op, elem, n, imm)
+					checkKernel(t, label, n,
+						func(dst []byte) { ApplyUnary(op, dst, a, elem, imm) },
+						func(dst []byte) { ApplyUnaryGeneric(op, dst, a, elem, imm) })
+					if op == OpNot {
+						break // imm ignored
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, elem := range elems {
+		for _, n := range testLengths(elem) {
+			mask := make([]byte, n)
+			a := make([]byte, n)
+			b := make([]byte, n)
+			fillRand(r, a)
+			fillRand(r, b)
+			for i := range mask {
+				if r.Intn(2) == 0 {
+					mask[i] = byte(r.Uint32())
+				}
+			}
+			label := fmt.Sprintf("select/elem=%d/n=%d", elem, n)
+			checkKernel(t, label, n,
+				func(dst []byte) { Select(dst, mask, a, b, elem) },
+				func(dst []byte) { SelectGeneric(dst, mask, a, b, elem) })
+			checkKernel(t, label+"/imm", n,
+				func(dst []byte) { SelectImm(dst, mask, a, elem, 0x8081) },
+				func(dst []byte) { SelectImmGeneric(dst, mask, a, elem, 0x8081) })
+		}
+	}
+}
+
+func TestShuffleBroadcastReduceMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, elem := range elems {
+		for _, n := range []int{elem, 4 * elem, 13 * elem, 1 << 10} {
+			a := make([]byte, n)
+			fillRand(r, a)
+			lanes := n / elem
+			for _, rot := range []int{0, 1, lanes - 1, lanes, lanes + 3, 7 * lanes} {
+				label := fmt.Sprintf("shuffle/elem=%d/n=%d/rot=%d", elem, n, rot)
+				checkKernel(t, label, n,
+					func(dst []byte) { Shuffle(dst, a, elem, rot) },
+					func(dst []byte) { ShuffleGeneric(dst, a, elem, rot) })
+			}
+			checkKernel(t, fmt.Sprintf("broadcast/elem=%d/n=%d", elem, n), n,
+				func(dst []byte) { Broadcast(dst, elem, 0xDEADBEEF) },
+				func(dst []byte) { BroadcastGeneric(dst, elem, 0xDEADBEEF) })
+			if got, want := ReduceAdd(a, elem), ReduceAddGeneric(a, elem); got != want {
+				t.Fatalf("ReduceAdd(elem=%d,n=%d) = %#x, reference %#x", elem, n, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelAliasing proves dst == a and dst == b produce the same bytes
+// as the reference under the same aliasing.
+func TestKernelAliasing(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, op := range binaryOps {
+		for _, elem := range elems {
+			n := 24 * elem
+			a0 := make([]byte, n)
+			b0 := make([]byte, n)
+			fillRand(r, a0)
+			fillRand(r, b0)
+
+			// dst aliases a.
+			got := append([]byte(nil), a0...)
+			Apply(op, got, got, b0, elem)
+			want := append([]byte(nil), a0...)
+			ApplyGeneric(op, want, want, b0, elem)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v/elem=%d: dst==a alias mismatch", op, elem)
+			}
+
+			// dst aliases b.
+			got = append([]byte(nil), b0...)
+			Apply(op, a0, got, got, elem)
+			want = append([]byte(nil), b0...)
+			ApplyGeneric(op, a0, want, want, elem)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v/elem=%d: dst==b alias mismatch", op, elem)
+			}
+		}
+	}
+	// In-place shuffle keeps the generic element-serial behavior.
+	for _, elem := range elems {
+		n := 16 * elem
+		a := make([]byte, n)
+		fillRand(r, a)
+		got := append([]byte(nil), a...)
+		Shuffle(got, got, elem, 5)
+		want := append([]byte(nil), a...)
+		ShuffleGeneric(want, want, elem, 5)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("elem=%d: in-place shuffle mismatch", elem)
+		}
+	}
+}
+
+// TestKernelsQuick is the randomized property check: arbitrary operand
+// bytes, operations, widths, and immediates, specialized == reference.
+func TestKernelsQuick(t *testing.T) {
+	f := func(seed int64, opSel, elemSel uint8, lanes uint8, imm uint64) bool {
+		r := rand.New(rand.NewSource(seed))
+		elem := elems[int(elemSel)%len(elems)]
+		n := (int(lanes)%96 + 1) * elem
+		a := make([]byte, n)
+		b := make([]byte, n)
+		fillRand(r, a)
+		fillRand(r, b)
+
+		op := binaryOps[int(opSel)%len(binaryOps)]
+		got := make([]byte, n)
+		want := make([]byte, n)
+		Apply(op, got, a, b, elem)
+		ApplyGeneric(op, want, a, b, elem)
+		if !bytes.Equal(got, want) {
+			t.Logf("binary %v elem=%d n=%d mismatch", op, elem, n)
+			return false
+		}
+
+		iop := immOps[int(opSel)%len(immOps)]
+		ApplyImm(iop, got, a, elem, imm)
+		ApplyImmGeneric(iop, want, a, elem, imm)
+		if !bytes.Equal(got, want) {
+			t.Logf("imm %v elem=%d n=%d imm=%#x mismatch", iop, elem, n, imm)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -73,22 +73,41 @@ func BinaryImm(dst, a []byte, elem int, imm uint64, f func(x, y uint64) uint64) 
 	}
 }
 
-// Broadcast fills dst with the immediate value v in every lane.
+// Broadcast fills dst with the immediate value v in every lane. The
+// specialized implementation stores one lane and doubles it across the
+// page; BroadcastGeneric is the lane-serial reference.
 func Broadcast(dst []byte, elem int, v uint64) {
 	CheckElem(elem)
 	n := len(dst) / elem
-	for i := 0; i < n; i++ {
-		Store(dst, i, elem, v)
+	if n == 0 {
+		return
+	}
+	Store(dst, 0, elem, v)
+	total := n * elem
+	for filled := elem; filled < total; filled *= 2 {
+		copy(dst[filled:total], dst[:filled])
 	}
 }
 
-// ReduceAdd sums all elements of a modulo the element width.
+// ReduceAdd sums all elements of a modulo the element width. The
+// specialized implementation uses monomorphized typed loads;
+// ReduceAddGeneric is the lane-serial reference.
 func ReduceAdd(a []byte, elem int) uint64 {
 	CheckElem(elem)
 	var sum uint64
-	n := len(a) / elem
-	for i := 0; i < n; i++ {
-		sum += Load(a, i, elem)
+	switch elem {
+	case 1:
+		for _, v := range a {
+			sum += uint64(v)
+		}
+	case 2:
+		for i := 0; i+2 <= len(a); i += 2 {
+			sum += uint64(le.Uint16(a[i:]))
+		}
+	default:
+		for i := 0; i+4 <= len(a); i += 4 {
+			sum += uint64(le.Uint32(a[i:]))
+		}
 	}
 	return sum & Mask(elem)
 }

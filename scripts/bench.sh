@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# bench.sh — record the data-plane perf trajectory.
+#
+# Runs the kernel microbenchmarks, the macro benchmarks, and writes the
+# machine-readable record the repo commits per PR (BENCH_pr3.json for this
+# one). Usage:
+#
+#   scripts/bench.sh [out.json]
+#
+# Environment:
+#   SCALE      workload scale for the macro benches (default 2)
+#   BENCHTIME  go test -benchtime for the printed benches (default 5x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr3.json}"
+scale="${SCALE:-2}"
+benchtime="${BENCHTIME:-5x}"
+
+echo "== perf-trajectory record -> $out (scale $scale)"
+go run ./cmd/experiments -benchjson "$out" -scale "$scale"
+
+echo
+echo "== kernel microbenchmarks (specialized vs generic reference)"
+go test -run '^$' -bench 'BenchmarkVecmathKernels' -benchmem ./internal/vecmath
+
+echo
+echo "== macro benchmarks"
+go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot' \
+  -benchmem -benchtime "$benchtime" .
