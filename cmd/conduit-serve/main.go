@@ -5,14 +5,22 @@
 // Each of -clients goroutines draws (workload, policy) pairs from the
 // requested mix with a deterministic per-client RNG and issues requests
 // back-to-back until -duration elapses; the server multiplexes them over
-// pool-managed Deployment forks (one NVMe deploy per workload, ever),
-// optionally coalescing identical in-flight requests. On completion the
-// server drains gracefully and reports per-tenant and per-pool statistics.
+// pool-managed Deployment forks (one NVMe deploy per workload per device,
+// ever), optionally coalescing identical in-flight requests. On
+// completion the server drains gracefully and reports per-tenant and
+// per-pool statistics.
+//
+// With -shards N > 1 every workload registers as a multi-device cluster:
+// its arrays shard row-block-wise across N simulated drives (broadcast
+// arrays replicate), each request scatters into per-shard sub-runs on
+// pooled clones, and the pool report shows one "workload#shard" row per
+// device.
 //
 // Usage:
 //
 //	conduit-serve -clients 32 -duration 2s
 //	conduit-serve -clients 64 -duration 5s -mix aes,jacobi-1d -policies Conduit,BW-Offloading
+//	conduit-serve -clients 32 -duration 2s -shards 4
 //	conduit-serve -list
 package main
 
@@ -41,6 +49,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "simultaneously executing requests (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission-queue depth (0 = 4x concurrency)")
 	prefork := flag.Int("prefork", 2, "pre-forked devices per application (0 disables pooling)")
+	shards := flag.Int("shards", 1, "simulated drives per workload (>1 registers sharded clusters)")
 	tenants := flag.Int("tenants", 4, "tenants the clients round-robin across")
 	coalesce := flag.Bool("coalesce", true, "share one execution among identical in-flight requests")
 	memoize := flag.Bool("memoize", false, "cache each (workload, policy) result for the whole run")
@@ -99,10 +108,20 @@ func main() {
 		Coalesce:    *coalesce,
 		Memoize:     *memoize,
 	})
-	fmt.Printf("registering %d workload(s) at scale %d ...\n", len(chosen), *scale)
+	if *shards < 1 {
+		*shards = 1
+	}
+	fmt.Printf("registering %d workload(s) at scale %d across %d shard(s) each ...\n",
+		len(chosen), *scale, *shards)
 	deployStart := time.Now()
 	for _, w := range chosen {
-		if err := srv.Register(w.Name, w.Source); err != nil {
+		var err error
+		if *shards > 1 {
+			err = srv.RegisterSharded(w.Name, w.Source, *shards)
+		} else {
+			err = srv.Register(w.Name, w.Source)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "conduit-serve: register %s: %v\n", w.Name, err)
 			os.Exit(1)
 		}

@@ -114,6 +114,34 @@ func runBenchJSON(path string, scale int) error {
 	}), 0)
 	out = append(out, hot)
 
+	// Cluster scatter-gather: the same workload sharded across four
+	// simulated drives. Host-side cost rises (four devices to simulate
+	// per request); the derived entry records what the sharding buys —
+	// the drop in *simulated* latency from holding 1/4 of the data per
+	// device.
+	cl4, err := sys.DeployCluster(w.Source, conduit.ClusterOptions{Shards: 4, Prefork: 2})
+	if err != nil {
+		return err
+	}
+	defer cl4.Close()
+	scatter := record("cluster/run-4shard-conduit", testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			if _, err := cl4.Run("Conduit"); err != nil {
+				bb.Fatal(err)
+			}
+		}
+	}), 0)
+	out = append(out, scatter)
+	oneDev, err := dep.Run("Conduit")
+	if err != nil {
+		return err
+	}
+	fourDev, err := cl4.Run("Conduit")
+	if err != nil {
+		return err
+	}
+
 	f := benchFile{
 		Schema:  "conduit-bench/v1",
 		Scale:   scale,
@@ -122,6 +150,7 @@ func runBenchJSON(path string, scale int) error {
 		Derived: map[string]string{
 			"bitwise_kernel_speedup_vs_generic": fmt.Sprintf("%.1fx", bitGen.NsPerOp/bitSpec.NsPerOp),
 			"arith_kernel_speedup_vs_generic":   fmt.Sprintf("%.1fx", ariGen.NsPerOp/ariSpec.NsPerOp),
+			"cluster_simulated_speedup_4shard":  fmt.Sprintf("%.2fx", float64(oneDev.Elapsed)/float64(fourDev.Elapsed)),
 		},
 	}
 	data, err := json.MarshalIndent(f, "", "  ")

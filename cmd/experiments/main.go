@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|all]
-//	experiments -benchjson BENCH_pr3.json [-scale N]
+//	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|scaling|all]
+//	experiments -benchjson BENCH_pr4.json [-scale N]
 //
 // Shared workload x policy sweeps execute concurrently across -workers
 // goroutines, deploying each workload once and restoring the post-deploy
 // snapshot per policy; tables are identical to a serial sweep.
+//
+// The scaling experiment shards every workload across multi-device
+// Conduit clusters, sweeping shard counts up to -shards (powers of two
+// plus -shards itself) and reporting scale-out speedup against the
+// 1-shard cluster; combine with -csv for the scaling curve as data.
 //
 // -benchjson runs the data-plane perf-trajectory benchmarks (kernel
 // microbenches vs the generic reference, a Fig. 4 regeneration, and a
@@ -33,6 +38,7 @@ func main() {
 	window := flag.Int("fig10window", 12000, "instruction window for Fig 10")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "concurrent sweep runs (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 4, "maximum cluster size for the scaling experiment")
 	benchjson := flag.String("benchjson", "", "run the perf-trajectory benchmarks and write the JSON record to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
@@ -40,10 +46,10 @@ func main() {
 
 	// All work happens in run so its defers — in particular stopping the
 	// CPU profile and writing the heap profile — execute before os.Exit.
-	os.Exit(run(*scale, *window, *csv, *workers, *benchjson, *cpuprofile, *memprofile))
+	os.Exit(run(*scale, *window, *shards, *csv, *workers, *benchjson, *cpuprofile, *memprofile))
 }
 
-func run(scale, window int, csv bool, workers int, benchjson, cpuprofile, memprofile string) int {
+func run(scale, window, shards int, csv bool, workers int, benchjson, cpuprofile, memprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -106,6 +112,9 @@ func run(scale, window int, csv bool, workers int, benchjson, cpuprofile, mempro
 		{"ablation", e.AblationCostFeatures},
 		{"ablation-width", e.AblationVectorWidth},
 		{"ablation-channels", e.AblationChannels},
+		{"scaling", func() (*conduit.Table, error) {
+			return e.ClusterScaling("Conduit", conduit.ShardCounts(shards))
+		}},
 	}
 	ran := false
 	for _, x := range exps {

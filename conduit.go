@@ -56,6 +56,20 @@
 // cmd/conduit-serve wraps it in a closed-loop load generator. Because
 // every run is a deterministic function of (workload, policy), served
 // responses are byte-identical to a serial loop over the same requests.
+//
+// # Scale-out
+//
+// A Cluster (System.DeployCluster, Server.RegisterSharded) shards a
+// workload's arrays row-block-wise across N independent simulated
+// drives — broadcast arrays replicate per the workload's shardability
+// metadata — deploying one compiled binary per shard through the same
+// Deployment machinery. Run scatters a request into concurrent
+// per-shard sub-runs on pooled forks and gathers the partials through a
+// deterministic merge (max-of-shards for the parallel phase, shard-order
+// sums and unions, plus a modeled host-side reduction for reduce-shaped
+// kernels). A 1-shard cluster run is byte-identical to Deployment.Run,
+// and N-shard concurrent execution is byte-identical to serial
+// shard-by-shard execution (Cluster.RunSerial) — both enforced by tests.
 package conduit
 
 import (
@@ -108,6 +122,8 @@ type (
 	Decision = ssd.Decision
 	// Reservoir holds latency samples with exact percentiles.
 	Reservoir = stats.Reservoir
+	// Counters is a named set of substrate activity tallies.
+	Counters = stats.Counters
 	// Table renders experiment output.
 	Table = stats.Table
 	// Time is simulated time in nanoseconds.
@@ -238,8 +254,12 @@ type RunResult struct {
 	// OverheadTime is the runtime offloader overhead (§4.5); zero for
 	// host and ideal executions.
 	OverheadTime Time
+	// Counters holds substrate activity (senses, bbops, migrations ...);
+	// nil for host executions. Cluster runs report the shard-order sum.
+	Counters *Counters
 	// Device exposes the drive after an in-SSD run for inspection; nil
-	// otherwise.
+	// otherwise — in particular nil on served and cluster-merged results,
+	// which have no single drive to expose.
 	Device *ssd.Device
 }
 
@@ -325,6 +345,7 @@ func runIdealOn(dev *ssd.Device) (*RunResult, error) {
 		MovementEnergy: res.MovementEnergy,
 		InstLatencies:  res.InstLatencies,
 		Decisions:      res.Decisions,
+		Counters:       res.Counters,
 		Device:         dev,
 	}, nil
 }
@@ -351,6 +372,7 @@ func runPolicyOn(dev *ssd.Device, policy string) (*RunResult, error) {
 		InstLatencies:  res.InstLatencies,
 		Decisions:      res.Decisions,
 		OverheadTime:   res.OverheadTime,
+		Counters:       res.Counters,
 		Device:         dev,
 	}, nil
 }

@@ -1,8 +1,10 @@
 package conduit
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -605,6 +607,80 @@ func (e *Experiments) AblationVectorWidth() (*Table, error) {
 			return nil, err
 		}
 		t.AddRowf(kib, kib<<10, len(c.Prog.Insts), float64(r.Elapsed)/1e6)
+	}
+	return t, nil
+}
+
+// --- Cluster scaling ---------------------------------------------------------
+
+// ShardCounts expands a maximum shard count into the sweep points the
+// scaling experiment visits: powers of two up to max, plus max itself.
+func ShardCounts(maxShards int) []int {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	var out []int
+	for n := 1; n < maxShards; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, maxShards)
+}
+
+// ClusterScaling sweeps each evaluation workload across multi-device
+// cluster sizes under the given policy: one row per (workload, shards)
+// point with the merged elapsed time, the scale-out speedup against the
+// same workload's 1-shard cluster (byte-identical to a single device),
+// total energy, and the partition shape (partitioned/broadcast array
+// counts). Shard counts are normalized first — sorted, deduplicated,
+// and the 1-shard baseline added if absent — so the speedup column
+// always has its denominator. Shard counts a workload cannot reach —
+// more shards than it has vector blocks — are skipped rather than
+// failed, so one sweep serves workloads of different footprints. With
+// -csv this is the scale-out scaling curve as data.
+func (e *Experiments) ClusterScaling(policy string, shardCounts []int) (*Table, error) {
+	if !KnownPolicy(policy) {
+		return nil, errUnknownPolicy(policy)
+	}
+	counts := map[int]bool{1: true}
+	for _, n := range shardCounts {
+		if n > 1 {
+			counts[n] = true
+		}
+	}
+	shardCounts = make([]int, 0, len(counts))
+	for n := range counts {
+		shardCounts = append(shardCounts, n)
+	}
+	sort.Ints(shardCounts)
+	t := stats.NewTable(
+		fmt.Sprintf("Cluster scaling: %s across multi-device shards", policy),
+		"workload", "shards", "elapsed_ms", "speedup_vs_1shard", "energy_j", "partitioned", "broadcast")
+	for _, w := range workloads.All(e.scale) {
+		var base float64
+		for _, n := range shardCounts {
+			cl, err := e.sys.DeployCluster(w.Source, ClusterOptions{Shards: n})
+			if errors.Is(err, ErrTooManyShards) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d shards: %w", w.Name, n, err)
+			}
+			r, err := cl.Run(policy)
+			cl.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d shards: %w", w.Name, n, err)
+			}
+			if n == 1 {
+				base = float64(r.Elapsed)
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = base / float64(r.Elapsed)
+			}
+			plan := cl.Plan()
+			t.AddRowf(w.Name, n, float64(r.Elapsed)/1e6, speedup, r.TotalEnergy(),
+				len(plan.Partitioned), len(plan.Broadcast))
+		}
 	}
 	return t, nil
 }

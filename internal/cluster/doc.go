@@ -1,0 +1,39 @@
+// Package cluster shards a compiled workload across multiple independent
+// simulated Conduit SSDs — the scale-out axis the single-device simulator
+// lacks: one drive caps dataset capacity and forces every request through
+// one device's calendars, while near-data systems win precisely by
+// co-locating each computation with the shard that holds its data (CODA,
+// arXiv:1710.09517; multi-device coordination and result aggregation are
+// the open problems the on-disk-processing survey arXiv:1709.02718
+// identifies).
+//
+// The package owns the three mechanical pieces of scale-out; the public
+// conduit.Cluster facade composes them with Deployment/DevicePool:
+//
+//   - Planning (PlanShards): split the shared lane space of a source's
+//     partitionable arrays into contiguous, vector-block-aligned row
+//     blocks — one per shard. Block alignment is what makes sharding
+//     exact: the compiler lowers Ref offsets to in-page rotations, so a
+//     page computes the same bytes no matter which device holds it.
+//   - Slicing (Plan.Shard): derive shard i's Source — partitionable
+//     arrays sliced to their block, broadcast arrays replicated whole,
+//     loops clipped to the lanes the shard owns, opaque scalar work
+//     apportioned by lane share. A 1-shard plan returns the original
+//     Source unchanged, which is the root of the 1-shard == single-device
+//     byte-identity proof.
+//   - Reduction modeling (ReducePages, ReduceModel): reduce-shaped
+//     kernels leave one partial page per reduce destination on every
+//     shard; the host must gather them over PCIe and combine them. The
+//     model prices that gather + combine step in time and energy from the
+//     Table-2 constants, and is charged once on the merged result.
+//
+// Merging the per-shard partial results lives with the measurement types
+// it combines: stats.MergeReservoirs (latency-sample union),
+// stats.Counters.Merge (substrate-activity sums), and energy.MergeShards
+// (fixed-order energy sums). The parallel phase of the merged run takes
+// the max over shards — shards execute concurrently on independent
+// devices — and every merge step is a deterministic function of the
+// per-shard results in shard-index order, so a gathered cluster result is
+// byte-identical whether the shards actually ran concurrently or one by
+// one.
+package cluster

@@ -205,6 +205,15 @@ func (s *Source) array(name string) *Array {
 	return nil
 }
 
+// RefsOf returns every array reference in an expression, in evaluation
+// order. The cluster planner uses it to classify loops by the arrays they
+// touch.
+func RefsOf(e Expr) []Ref {
+	var out []Ref
+	refsIn(e, &out)
+	return out
+}
+
 // refsIn collects every array reference in an expression.
 func refsIn(e Expr, out *[]Ref) {
 	switch v := e.(type) {

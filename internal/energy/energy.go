@@ -74,6 +74,22 @@ func (a *Account) Clone() *Account {
 	return c
 }
 
+// MergeShards sums per-shard (compute, movement) energy pairs in slice
+// order. Float addition is not associative, so the fixed shard-index
+// order — not completion order — is what keeps a cluster's gathered
+// energy totals byte-identical between concurrent and serial shard
+// execution. Both slices must have the same length.
+func MergeShards(compute, movement []float64) (computeJ, movementJ float64) {
+	if len(compute) != len(movement) {
+		panic("energy: MergeShards slice lengths differ")
+	}
+	for i := range compute {
+		computeJ += compute[i]
+		movementJ += movement[i]
+	}
+	return computeJ, movementJ
+}
+
 // total sums in sorted key order: float addition is not associative, so
 // map-order summation would make otherwise identical runs differ in the
 // last bits — run-for-run determinism requires a fixed order.

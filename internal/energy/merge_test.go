@@ -1,0 +1,46 @@
+package energy
+
+import "testing"
+
+func TestMergeShardsSums(t *testing.T) {
+	c, m := MergeShards([]float64{1.5, 2.25, 0.5}, []float64{0.125, 4, 8})
+	if c != 4.25 {
+		t.Fatalf("compute = %v, want 4.25", c)
+	}
+	if m != 12.125 {
+		t.Fatalf("movement = %v, want 12.125", m)
+	}
+}
+
+// TestMergeShardsSingleIdentity: a 1-shard merge returns the inputs
+// bit-exactly — the cluster layer's 1-shard == single-device proof
+// requires it.
+func TestMergeShardsSingleIdentity(t *testing.T) {
+	const compute, movement = 0.1234567890123, 9.87654321e-4
+	c, m := MergeShards([]float64{compute}, []float64{movement})
+	if c != compute || m != movement {
+		t.Fatalf("single-shard merge changed values: %v, %v", c, m)
+	}
+}
+
+// TestMergeShardsOrderFixed: the sum is taken in slice order, so two
+// calls over the same slices are bit-identical (float addition is not
+// associative; this is the determinism contract).
+func TestMergeShardsOrderFixed(t *testing.T) {
+	compute := []float64{1e-9, 1e9, -1e9, 3.3e-7}
+	movement := []float64{2e8, 1e-8, 5e-3, -2e8}
+	c1, m1 := MergeShards(compute, movement)
+	c2, m2 := MergeShards(compute, movement)
+	if c1 != c2 || m1 != m2 {
+		t.Fatal("repeated merges over identical inputs differ")
+	}
+}
+
+func TestMergeShardsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MergeShards([]float64{1}, []float64{1, 2})
+}

@@ -126,6 +126,27 @@ func (r *Reservoir) Sum() sim.Time {
 	return sum
 }
 
+// MergeReservoirs returns a new reservoir holding the union of every
+// part's samples, concatenated in argument order. Percentile queries sort
+// lazily, so the union is order-insensitive for every derived statistic —
+// but the fixed concatenation order keeps the raw sample sequence (and
+// therefore Clone snapshots of it) run-for-run deterministic, which is
+// what lets a cluster's scatter-gather merge be byte-identical between
+// concurrent and serial shard execution. Nil parts are skipped; the parts
+// themselves are never mutated.
+func MergeReservoirs(parts ...*Reservoir) *Reservoir {
+	out := NewReservoir()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		out.samples = append(out.samples, p.samples...)
+		p.mu.Unlock()
+	}
+	return out
+}
+
 // Counters is a named set of monotonically increasing tallies.
 type Counters struct {
 	m     map[string]int64
@@ -158,6 +179,20 @@ func (c *Counters) Clone() *Counters {
 		out.m[k] = v
 	}
 	return out
+}
+
+// Merge adds every counter of o into c, preserving c's first-use order
+// and appending names new to c in o's order. Merging the per-shard
+// counter sets of a cluster run in shard-index order therefore yields a
+// deterministic summed set regardless of which shard finished first.
+// A nil o is a no-op; o is never mutated.
+func (c *Counters) Merge(o *Counters) {
+	if o == nil {
+		return
+	}
+	for _, name := range o.order {
+		c.Add(name, o.m[name])
+	}
 }
 
 // Names returns counter names in first-use order.

@@ -13,4 +13,10 @@
 // vectorizable; the stencils vectorize almost fully with medium/high
 // arithmetic; the LLM workloads mix multiplication-heavy attention with
 // control regions.
+//
+// Each workload also carries shardability metadata (Partition) for the
+// cluster layer: which arrays slice row-block-wise across a multi-device
+// deployment and which are broadcast — replicated whole to every shard —
+// the way the real application distributes (AES key schedules, XOR-filter
+// probe banks, and transformer weights broadcast; data arrays partition).
 package workloads

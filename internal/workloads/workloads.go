@@ -58,6 +58,43 @@ func Find(name string, scale int) (Named, bool) {
 	return Named{}, false
 }
 
+// broadcastPrefixes records, per canonical workload name, the array-name
+// prefixes that are *broadcast* when the workload is sharded across a
+// multi-device cluster: replicated whole to every shard instead of sliced
+// row-block-wise. The choice mirrors how each application distributes in
+// practice — AES replicates the key schedule, the XOR filter replicates
+// its probe banks (a shared lookup structure), and the transformer
+// workloads replicate weights while sharding activations (classic data
+// parallelism). Every array not matching a prefix partitions. The
+// stencils have no broadcast state at all: both grids slice cleanly.
+var broadcastPrefixes = map[string][]string{
+	"aes":              {"rk"},
+	"xor-filter":       {"bank"},
+	"heat-3d":          nil,
+	"jacobi-1d":        nil,
+	"llama2-inference": {"wq_", "wk_", "wv_", "wo_", "wff_"},
+	"llm-training":     {"wq_", "wk_", "wv_", "wo_", "wff_"},
+}
+
+// Partition returns the cluster-sharding predicate for the named workload
+// (matched under Canonical): it reports whether a given array is
+// partitionable — sliced row-block-wise across shards — as opposed to
+// broadcast, replicated whole to every shard. Unknown workloads default
+// to partitioning every array, which is exact for any kernel whose array
+// references stay page-local (the compiler lowers Ref offsets to in-page
+// rotations, so block-aligned slices compute the same bytes per page).
+func Partition(name string) func(array string) bool {
+	prefixes := broadcastPrefixes[Canonical(name)]
+	return func(array string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(array, p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
 // lanes is the INT8 vector width of one 16 KiB page.
 const lanes = 16 << 10
 

@@ -173,3 +173,47 @@ func TestCharacterizeCountsInstructions(t *testing.T) {
 		t.Fatalf("op mix sums to %v", ch.LowPct+ch.MediumPct+ch.HighPct)
 	}
 }
+
+// TestPartitionMetadata checks the shardability rules: every evaluated
+// workload's declared arrays split into a non-empty partitionable set,
+// broadcast arrays match the documented structures (key schedules, filter
+// banks, transformer weights), and unknown workloads partition everything.
+func TestPartitionMetadata(t *testing.T) {
+	wantBroadcast := map[string]func(string) bool{
+		"AES":              func(a string) bool { return len(a) > 2 && a[:2] == "rk" },
+		"XOR Filter":       func(a string) bool { return len(a) > 4 && a[:4] == "bank" },
+		"heat-3d":          func(string) bool { return false },
+		"jacobi-1d":        func(string) bool { return false },
+		"LlaMA2 Inference": func(a string) bool { return a[0] == 'w' && a != "x" },
+		"LLM Training":     func(a string) bool { return a[0] == 'w' },
+	}
+	for _, w := range All(1) {
+		part := Partition(w.Name)
+		var nPart, nBcast int
+		for _, arr := range w.Source.Arrays {
+			if part(arr.Name) {
+				nPart++
+				if wantBroadcast[w.Name](arr.Name) {
+					t.Errorf("%s: array %q partitioned, want broadcast", w.Name, arr.Name)
+				}
+			} else {
+				nBcast++
+				if !wantBroadcast[w.Name](arr.Name) {
+					t.Errorf("%s: array %q broadcast, want partitioned", w.Name, arr.Name)
+				}
+			}
+		}
+		if nPart == 0 {
+			t.Errorf("%s: no partitionable arrays — the workload cannot shard", w.Name)
+		}
+	}
+	// Unknown workloads partition every array (safe default: exact for
+	// page-local kernels).
+	if p := Partition("no-such-workload"); !p("anything") {
+		t.Error("unknown workload did not default to partition-everything")
+	}
+	// The predicate matches under Canonical, like Find does.
+	if p := Partition("LlaMA2 Inference"); p("wq_0_1") || !p("x") {
+		t.Error("display-name lookup did not resolve the transformer rules")
+	}
+}

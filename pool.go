@@ -20,6 +20,9 @@ import (
 //
 // A DevicePool is safe for concurrent use. Close it to stop the refiller
 // and release buffered devices; a closed pool degrades to inline cloning.
+// A pool always belongs to exactly one Deployment — a sharded Cluster
+// attaches one pool per shard (Cluster.Prefork), never one shared pool,
+// since clones of different shard masters are not interchangeable.
 type DevicePool struct {
 	dep     *Deployment
 	free    chan *ssd.Device
@@ -93,6 +96,14 @@ func (d *Deployment) Pool() *DevicePool {
 func (d *Deployment) Close() {
 	if p := d.Pool(); p != nil {
 		p.Close()
+	}
+}
+
+// poolStats implements the serving layer's application interface: a
+// deployment contributes its pool snapshot under its registered name.
+func (d *Deployment) poolStats(name string, out map[string]PoolStats) {
+	if p := d.Pool(); p != nil {
+		out[name] = p.Stats()
 	}
 }
 

@@ -2,7 +2,7 @@
 # bench.sh — record the data-plane perf trajectory.
 #
 # Runs the kernel microbenchmarks, the macro benchmarks, and writes the
-# machine-readable record the repo commits per PR (BENCH_pr3.json for this
+# machine-readable record the repo commits per PR (BENCH_pr4.json for this
 # one). Usage:
 #
 #   scripts/bench.sh [out.json]
@@ -13,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr4.json}"
 scale="${SCALE:-2}"
 benchtime="${BENCHTIME:-5x}"
 
@@ -26,5 +26,5 @@ go test -run '^$' -bench 'BenchmarkVecmathKernels' -benchmem ./internal/vecmath
 
 echo
 echo "== macro benchmarks"
-go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot' \
+go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|BenchmarkClusterScatterGather' \
   -benchmem -benchtime "$benchtime" .

@@ -33,8 +33,10 @@ type ServeOptions struct {
 	// 4 x Concurrency.
 	QueueDepth int
 	// Prefork is the per-application device-pool depth: how many restored
-	// post-deploy clones to keep ready ahead of demand. < 1 disables
-	// pooling (forks clone inline).
+	// post-deploy clones to keep ready ahead of demand. Sharded
+	// registrations apply it per shard — each device in the cluster gets
+	// its own pool of this depth. < 1 disables pooling (forks clone
+	// inline).
 	Prefork int
 	// Coalesce shares one execution among identical in-flight requests.
 	Coalesce bool
@@ -43,18 +45,32 @@ type ServeOptions struct {
 	Memoize bool
 }
 
-// Server serves offload requests for a set of registered applications
-// over pool-managed Deployment forks. Each application is compiled and
-// NVMe-deployed exactly once, at registration; every request then runs on
-// a restored post-deploy clone, so sustained traffic never re-drives the
-// deploy path. All methods are safe for concurrent use.
+// application is the serving-layer view of a registered app: one-shot
+// policy runs, pool teardown, and pool reporting. Both a single-device
+// Deployment and a sharded Cluster satisfy it, so the engine serves
+// either transparently.
+type application interface {
+	Run(policy string) (*RunResult, error)
+	Close()
+	// poolStats contributes the application's device-pool snapshots to
+	// out, keying each entry off the registered name (a cluster adds one
+	// "name#shard" entry per pooled shard). Pool-less apps add nothing.
+	poolStats(name string, out map[string]PoolStats)
+}
+
+// Server serves offload requests for a set of registered applications —
+// single-device Deployments or sharded Clusters — over pool-managed
+// forks. Each application is compiled and NVMe-deployed exactly once per
+// device, at registration; every request then runs on restored
+// post-deploy clones, so sustained traffic never re-drives the deploy
+// path. All methods are safe for concurrent use.
 type Server struct {
 	sys  *System
 	opts ServeOptions
 	eng  *serve.Engine
 
 	mu       sync.Mutex
-	apps     map[string]*Deployment
+	apps     map[string]application
 	draining bool
 }
 
@@ -64,7 +80,7 @@ func NewServer(cfg Config, opts ServeOptions) *Server {
 	s := &Server{
 		sys:  NewSystem(cfg),
 		opts: opts,
-		apps: make(map[string]*Deployment),
+		apps: make(map[string]application),
 	}
 	s.eng = serve.NewEngine(serve.RunnerFunc(s.runCell), serve.Config{
 		Concurrency: opts.Concurrency,
@@ -88,10 +104,41 @@ func (s *Server) Register(name string, src *Source) error {
 // pool of opts.Prefork ready clones, and makes the application requestable
 // under name. Registering a name twice is an error.
 func (s *Server) RegisterCompiled(name string, c *Compiled) error {
+	return s.install(name, func() (application, error) {
+		dep, err := s.sys.Deploy(c)
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.Prefork > 0 {
+			dep.Prefork(s.opts.Prefork)
+		}
+		return dep, nil
+	})
+}
+
+// RegisterSharded shards src row-block-wise across a cluster of the given
+// number of simulated drives (see System.DeployCluster) and makes it
+// requestable under name: each request scatters into per-shard sub-runs
+// on pooled clones — opts.Prefork applies per shard — and gathers a
+// merged result. Partitionable vs broadcast arrays follow the workload's
+// shardability metadata. shards <= 1 registers a single-device cluster,
+// which serves byte-identically to Register.
+func (s *Server) RegisterSharded(name string, src *Source, shards int) error {
+	return s.install(name, func() (application, error) {
+		return s.sys.DeployCluster(src, ClusterOptions{
+			Shards:  shards,
+			Prefork: s.opts.Prefork,
+		})
+	})
+}
+
+// install runs the registration protocol around a deploy: check the name
+// (and drain state) before paying for the deploy, build, then re-check at
+// insertion in case of a concurrent registration of the same name or a
+// concurrent Drain — tearing the freshly built application down if it
+// lost either race.
+func (s *Server) install(name string, build func() (application, error)) error {
 	errDup := fmt.Errorf("conduit: application %q already registered", name)
-	// Check the name (and drain state) before paying for the deploy;
-	// re-check at insertion in case of a concurrent registration of the
-	// same name or a concurrent Drain.
 	s.mu.Lock()
 	_, dup := s.apps[name]
 	draining := s.draining
@@ -102,22 +149,19 @@ func (s *Server) RegisterCompiled(name string, c *Compiled) error {
 	if dup {
 		return errDup
 	}
-	dep, err := s.sys.Deploy(c)
+	app, err := build()
 	if err != nil {
 		return err
-	}
-	if s.opts.Prefork > 0 {
-		dep.Prefork(s.opts.Prefork)
 	}
 	s.mu.Lock()
 	_, dup = s.apps[name]
 	draining = s.draining
 	if !dup && !draining {
-		s.apps[name] = dep
+		s.apps[name] = app
 	}
 	s.mu.Unlock()
 	if dup || draining {
-		dep.Close()
+		app.Close()
 		if draining {
 			return ErrDraining
 		}
@@ -149,17 +193,18 @@ func (s *Server) Applications() []string {
 	return out
 }
 
-// runCell is the serve.Runner backend: one request = one policy run on a
-// pool-managed fork of the workload's deployment.
+// runCell is the serve.Runner backend: one request = one policy run on
+// pool-managed forks of the workload's deployment (every shard's, for a
+// clustered application).
 func (s *Server) runCell(workload, policy string) (serve.Outcome, error) {
 	s.mu.Lock()
-	dep := s.apps[workload]
+	app := s.apps[workload]
 	s.mu.Unlock()
-	if dep == nil {
+	if app == nil {
 		return serve.Outcome{}, fmt.Errorf("conduit: no application %q registered (have: %s)",
 			workload, strings.Join(s.Applications(), ", "))
 	}
-	r, err := dep.Run(policy)
+	r, err := app.Run(policy)
 	if err != nil {
 		return serve.Outcome{}, err
 	}
@@ -186,20 +231,21 @@ func ResultOf(resp *Response) *RunResult {
 }
 
 // Drain stops admission, waits for every in-flight request to complete,
-// and closes every application's prefork pool. After Drain returns, no
-// fork is buffered anywhere, Do rejects with ErrDraining, and further
-// registrations are refused. Idempotent.
+// and closes every application's prefork pools — every shard's, for
+// clustered applications. After Drain returns, no fork is buffered
+// anywhere, Do rejects with ErrDraining, and further registrations are
+// refused. Idempotent.
 func (s *Server) Drain() {
 	s.eng.Drain()
 	s.mu.Lock()
 	s.draining = true
-	deps := make([]*Deployment, 0, len(s.apps))
-	for _, dep := range s.apps {
-		deps = append(deps, dep)
+	apps := make([]application, 0, len(s.apps))
+	for _, app := range s.apps {
+		apps = append(apps, app)
 	}
 	s.mu.Unlock()
-	for _, dep := range deps {
-		dep.Close()
+	for _, app := range apps {
+		app.Close()
 	}
 }
 
@@ -211,15 +257,15 @@ func (s *Server) Report() *Table { return s.eng.Report() }
 func (s *Server) Tenants() []TenantSnapshot { return s.eng.Snapshot() }
 
 // PoolStats reports each registered application's device-pool counters,
-// keyed by application name. Applications without a pool are omitted.
+// keyed by application name — a clustered application contributes one
+// entry per shard, keyed "name#shard". Applications (and shards) without
+// a pool are omitted.
 func (s *Server) PoolStats() map[string]PoolStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]PoolStats, len(s.apps))
-	for name, dep := range s.apps {
-		if p := dep.Pool(); p != nil {
-			out[name] = p.Stats()
-		}
+	for name, app := range s.apps {
+		app.poolStats(name, out)
 	}
 	return out
 }
