@@ -1,14 +1,29 @@
 // Command conduit-serve runs the pooled, batched request-serving engine
-// against a built-in closed-loop load generator and prints a per-tenant
-// throughput/latency report.
+// under generated or replayed traffic and prints per-tenant
+// throughput/latency/SLO reports.
 //
-// Each of -clients goroutines draws (workload, policy) pairs from the
-// requested mix with a deterministic per-client RNG and issues requests
-// back-to-back until -duration elapses; the server multiplexes them over
-// pool-managed Deployment forks (one NVMe deploy per workload per device,
-// ever), optionally coalescing identical in-flight requests. On
-// completion the server drains gracefully and reports per-tenant and
-// per-pool statistics.
+// Three traffic modes:
+//
+//   - Closed-loop (default): -clients goroutines draw (workload, policy)
+//     pairs from the requested mix with deterministic per-client RNG
+//     substreams (loadgen.Stream seed-splitting) and issue requests
+//     back-to-back until -duration elapses. Offered load self-throttles
+//     to service capacity — useful for capacity probing, blind to
+//     overload.
+//   - Open-loop (-open N): a deterministic -arrival schedule (poisson,
+//     burst, or diurnal) at N req/s is generated up front and submitted
+//     on its own clock, without waiting for completions. A full admission
+//     queue sheds requests (ErrOverloaded), and requests that outlive
+//     their -slo budget in the queue are dropped at dispatch without ever
+//     consuming a pooled fork — the overload/tail-latency regime a
+//     closed loop can never reach.
+//   - Replay (-replay trace.jsonl): re-issue a recorded trace open-loop
+//     with its recorded arrival spacing, time-scaled by -speed. The
+//     workload mix is taken from the trace itself.
+//
+// Any mode combined with -record FILE captures the actually issued
+// request stream (with observed arrival offsets) as a JSONL trace — a
+// reproducible artifact of the run that -replay re-issues identically.
 //
 // With -shards N > 1 every workload registers as a multi-device cluster:
 // its arrays shard row-block-wise across N simulated drives (broadcast
@@ -19,12 +34,15 @@
 // Usage:
 //
 //	conduit-serve -clients 32 -duration 2s
-//	conduit-serve -clients 64 -duration 5s -mix aes,jacobi-1d -policies Conduit,BW-Offloading
+//	conduit-serve -open 500 -arrival poisson -slo 50ms -duration 2s
+//	conduit-serve -open 800 -arrival burst -duration 2s -record burst.jsonl
+//	conduit-serve -replay burst.jsonl -speed 2
 //	conduit-serve -clients 32 -duration 2s -shards 4
 //	conduit-serve -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +53,7 @@ import (
 	"time"
 
 	conduit "conduit"
+	"conduit/internal/loadgen"
 	"conduit/internal/sim"
 	"conduit/internal/stats"
 	"conduit/internal/workloads"
@@ -44,16 +63,22 @@ func main() {
 	clients := flag.Int("clients", 32, "closed-loop client goroutines")
 	duration := flag.Duration("duration", 2*time.Second, "load-generation window")
 	mix := flag.String("mix", "all", `comma-separated workload mix, or "all" for the evaluation suite`)
-	policies := flag.String("policies", "Conduit", "comma-separated policy mix each client draws from")
+	policies := flag.String("policies", "Conduit", "comma-separated policy mix requests draw from")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	concurrency := flag.Int("concurrency", 0, "simultaneously executing requests (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission-queue depth (0 = 4x concurrency)")
 	prefork := flag.Int("prefork", 2, "pre-forked devices per application (0 disables pooling)")
 	shards := flag.Int("shards", 1, "simulated drives per workload (>1 registers sharded clusters)")
-	tenants := flag.Int("tenants", 4, "tenants the clients round-robin across")
+	tenants := flag.Int("tenants", 4, "tenants the requests round-robin across")
 	coalesce := flag.Bool("coalesce", true, "share one execution among identical in-flight requests")
 	memoize := flag.Bool("memoize", false, "cache each (workload, policy) result for the whole run")
-	seed := flag.Uint64("seed", 1, "load-generator RNG seed")
+	seed := flag.Uint64("seed", 1, "load-generator root RNG seed (split per client/substream)")
+	open := flag.Float64("open", 0, "open-loop offered load in req/s (0 = closed-loop -clients mode)")
+	arrival := flag.String("arrival", "poisson", "open-loop arrival process: poisson, burst, diurnal")
+	slo := flag.Duration("slo", 0, "per-request deadline; queued requests past it are dropped undispatched (0 = none)")
+	record := flag.String("record", "", "write the issued request stream as a JSONL trace to `file`")
+	replay := flag.String("replay", "", "re-issue the JSONL trace in `file` instead of generating load")
+	speed := flag.Float64("speed", 1, "replay time scale (2 = twice as fast as recorded)")
 	list := flag.Bool("list", false, "list workloads and policies, then exit")
 	flag.Parse()
 
@@ -64,17 +89,54 @@ func main() {
 		}
 		fmt.Println("policies:  ", strings.Join(conduit.Policies(), ", "))
 		fmt.Println("ablations: ", strings.Join(conduit.AblationPolicies(), ", "))
+		fmt.Println("arrivals:   poisson, burst, diurnal (open-loop); closed loop via -clients")
 		return
 	}
 	if *tenants < 1 {
 		*tenants = 1
 	}
+	if *shards < 1 {
+		*shards = 1
+	}
 
-	// Resolve the workload mix against the evaluation suite.
+	// Replay mode loads its schedule first: the trace, not -mix, decides
+	// which workloads must be registered.
+	var trace []loadgen.Event
+	if *replay != "" {
+		var err error
+		trace, err = loadgen.ReadFile(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-serve: %v\n", err)
+			os.Exit(2)
+		}
+		if len(trace) == 0 {
+			fmt.Fprintf(os.Stderr, "conduit-serve: trace %s is empty\n", *replay)
+			os.Exit(2)
+		}
+	}
+
+	// Resolve the workload mix against the evaluation suite (or, when
+	// replaying, against the union of workloads the trace names).
 	var chosen []workloads.Named
-	if *mix == "all" {
+	switch {
+	case *replay != "":
+		seen := make(map[string]bool)
+		for _, ev := range trace {
+			if seen[ev.Workload] {
+				continue
+			}
+			seen[ev.Workload] = true
+			w, ok := workloads.Find(ev.Workload, *scale)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "conduit-serve: trace names unknown workload %q\n", ev.Workload)
+				os.Exit(2)
+			}
+			chosen = append(chosen, w)
+		}
+		sort.Slice(chosen, func(i, j int) bool { return chosen[i].Name < chosen[j].Name })
+	case *mix == "all":
 		chosen = workloads.All(*scale)
-	} else {
+	default:
 		seen := make(map[string]bool)
 		for _, name := range strings.Split(*mix, ",") {
 			w, ok := workloads.Find(strings.TrimSpace(name), *scale)
@@ -91,7 +153,7 @@ func main() {
 	}
 
 	// Validate the policy mix up front so a typo fails fast, not per
-	// request mid-run.
+	// request mid-run. Replays trust the trace's policies the same way.
 	polMix := strings.Split(*policies, ",")
 	for i, p := range polMix {
 		polMix[i] = strings.TrimSpace(p)
@@ -108,9 +170,6 @@ func main() {
 		Coalesce:    *coalesce,
 		Memoize:     *memoize,
 	})
-	if *shards < 1 {
-		*shards = 1
-	}
 	fmt.Printf("registering %d workload(s) at scale %d across %d shard(s) each ...\n",
 		len(chosen), *scale, *shards)
 	deployStart := time.Now()
@@ -126,66 +185,192 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("deployed in %v; serving %d clients for %v (policies: %s)\n",
-		time.Since(deployStart).Round(time.Millisecond), *clients, *duration, strings.Join(polMix, ", "))
-
-	var served, failed int64
-	start := time.Now()
-	deadline := start.Add(*duration)
-	var wg sync.WaitGroup
-	for i := 0; i < *clients; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			rng := sim.NewRNG(*seed + uint64(id)*0x9e3779b9)
-			tenant := fmt.Sprintf("tenant-%02d", id%*tenants)
-			for time.Now().Before(deadline) {
-				req := conduit.Request{
-					Tenant:   tenant,
-					Workload: chosen[rng.Intn(len(chosen))].Name,
-					Policy:   polMix[rng.Intn(len(polMix))],
-				}
-				if _, err := srv.Do(req); err != nil {
-					atomic.AddInt64(&failed, 1)
-				} else {
-					atomic.AddInt64(&served, 1)
-				}
-			}
-		}(i)
+	names := make([]string, len(chosen))
+	for i, w := range chosen {
+		names[i] = w.Name
 	}
-	wg.Wait()
+
+	var rec *loadgen.Recorder
+	if *record != "" {
+		rec = loadgen.NewRecorder()
+	}
+	var tally traffic
+	start := time.Now()
+	switch {
+	case *replay != "":
+		fmt.Printf("deployed in %v; replaying %d-event trace at %gx speed\n",
+			time.Since(deployStart).Round(time.Millisecond), len(trace), *speed)
+		tally = serveOpenLoop(srv, trace, *speed, rec)
+	case *open > 0:
+		schedule, err := loadgen.Generate(loadgen.Spec{
+			Arrival: *arrival, QPS: *open, Duration: *duration,
+			Seed: *seed, Tenants: *tenants,
+			Workloads: names, Policies: polMix, SLO: *slo,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-serve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("deployed in %v; offering %g req/s (%s arrivals, %d events) for %v (policies: %s)\n",
+			time.Since(deployStart).Round(time.Millisecond), *open, *arrival, len(schedule), *duration,
+			strings.Join(polMix, ", "))
+		tally = serveOpenLoop(srv, schedule, 1, rec)
+	default:
+		fmt.Printf("deployed in %v; serving %d closed-loop clients for %v (policies: %s)\n",
+			time.Since(deployStart).Round(time.Millisecond), *clients, *duration, strings.Join(polMix, ", "))
+		tally = serveClosedLoop(srv, closedLoopConfig{
+			clients: *clients, duration: *duration, seed: *seed,
+			tenants: *tenants, workloads: names, policies: polMix, slo: *slo,
+		}, rec)
+	}
 	elapsed := time.Since(start)
 	srv.Drain()
+
+	if rec != nil {
+		events := rec.Events()
+		if err := loadgen.WriteFile(*record, events); err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-serve: record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d-event trace -> %s\n", len(events), *record)
+	}
 
 	fmt.Println()
 	srv.Report().Render(os.Stdout)
 	fmt.Println()
 
 	pools := srv.PoolStats()
-	names := make([]string, 0, len(pools))
+	poolNames := make([]string, 0, len(pools))
 	for name := range pools {
-		names = append(names, name)
+		poolNames = append(poolNames, name)
 	}
-	sort.Strings(names)
+	sort.Strings(poolNames)
 	pt := stats.NewTable("device pools (pre-forked Deployment clones)",
 		"application", "preforked", "pool_hits", "inline_clones", "idle")
-	for _, name := range names {
+	for _, name := range poolNames {
 		ps := pools[name]
 		pt.AddRowf(name, ps.Preforked, ps.Hits, ps.Misses, ps.Idle)
 	}
-	if len(names) > 0 {
+	if len(poolNames) > 0 {
 		pt.Render(os.Stdout)
 		fmt.Println()
 	}
 
+	total := srv.Total()
 	st := stats.NewTable("load summary", "metric", "value")
-	st.AddRowf("clients", *clients)
 	st.AddRowf("wall_time", elapsed.Round(time.Millisecond).String())
-	st.AddRowf("requests_served", served)
-	st.AddRowf("requests_failed", failed)
-	st.AddRowf("throughput_req_per_s", float64(served)/elapsed.Seconds())
+	st.AddRowf("requests_offered", tally.offered)
+	st.AddRowf("requests_served", tally.served)
+	st.AddRowf("requests_shed", tally.shed)
+	st.AddRowf("requests_expired", tally.expired)
+	st.AddRowf("requests_failed", tally.failed)
+	st.AddRowf("throughput_req_per_s", float64(tally.served)/elapsed.Seconds())
+	st.AddRowf("goodput_req_per_s", float64(total.Attained)/elapsed.Seconds())
+	st.AddRowf("slo_attainment_pct", fmt.Sprintf("%.1f", 100*total.Attainment()))
 	st.Render(os.Stdout)
-	if failed > 0 {
+	if tally.failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// traffic tallies one load-generation run. Shed and expired requests are
+// the open-loop subsystem working as designed, not failures: only
+// backend errors fail the command.
+type traffic struct {
+	offered int64 // every request the generator attempted
+	served  int64 // completed successfully
+	shed    int64 // rejected at admission (queue full)
+	expired int64 // dropped at dispatch (deadline passed in queue)
+	failed  int64 // backend errors
+}
+
+// serveOpenLoop paces schedule against the wall clock (scaled by speed),
+// submitting without waiting for completions, then drains every response.
+// issue order — and therefore the recorded trace — is exactly the
+// schedule order regardless of timing.
+func serveOpenLoop(srv *conduit.Server, schedule []loadgen.Event, speed float64, rec *loadgen.Recorder) traffic {
+	var t traffic
+	chans := make([]<-chan *conduit.Response, 0, len(schedule))
+	loadgen.Replay(schedule, speed, func(ev loadgen.Event) {
+		t.offered++
+		if rec != nil {
+			rec.Record(ev.Tenant, ev.Workload, ev.Policy, ev.Deadline)
+		}
+		ch, err := srv.Submit(conduit.Request{
+			Tenant: ev.Tenant, Workload: ev.Workload, Policy: ev.Policy, Deadline: ev.Deadline,
+		})
+		switch {
+		case err == nil:
+			chans = append(chans, ch)
+		case errors.Is(err, conduit.ErrOverloaded):
+			t.shed++
+		default:
+			t.failed++
+		}
+	})
+	for _, ch := range chans {
+		resp := <-ch
+		switch {
+		case resp.Err == nil:
+			t.served++
+		case errors.Is(resp.Err, conduit.ErrDeadlineExceeded):
+			t.expired++
+		default:
+			t.failed++
+		}
+	}
+	return t
+}
+
+type closedLoopConfig struct {
+	clients   int
+	duration  time.Duration
+	seed      uint64
+	tenants   int
+	workloads []string
+	policies  []string
+	slo       time.Duration
+}
+
+// serveClosedLoop runs the classic -clients loop: each client issues
+// back-to-back blocking requests until the deadline. Per-client RNGs are
+// loadgen.Stream substreams of the root seed — a SplitMix64-style split,
+// so client streams are decorrelated and collision-free where the old
+// seed + id*0x9e3779b9 derivation made nearby (seed, id) pairs share
+// entire streams.
+func serveClosedLoop(srv *conduit.Server, cfg closedLoopConfig, rec *loadgen.Recorder) traffic {
+	var offered, served, expired, failed int64
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := sim.NewRNG(loadgen.Stream(cfg.seed, uint64(id)))
+			tenant := fmt.Sprintf("tenant-%02d", id%cfg.tenants)
+			for time.Now().Before(deadline) {
+				req := conduit.Request{
+					Tenant:   tenant,
+					Workload: cfg.workloads[rng.Intn(len(cfg.workloads))],
+					Policy:   cfg.policies[rng.Intn(len(cfg.policies))],
+					Deadline: cfg.slo,
+				}
+				atomic.AddInt64(&offered, 1)
+				if rec != nil {
+					rec.Record(req.Tenant, req.Workload, req.Policy, req.Deadline)
+				}
+				_, err := srv.Do(req)
+				switch {
+				case err == nil:
+					atomic.AddInt64(&served, 1)
+				case errors.Is(err, conduit.ErrDeadlineExceeded):
+					atomic.AddInt64(&expired, 1)
+				default:
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return traffic{offered: offered, served: served, expired: expired, failed: failed}
 }

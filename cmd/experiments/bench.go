@@ -23,8 +23,9 @@ type benchResult struct {
 }
 
 // benchFile is the schema of BENCH_*.json: a point-in-time record of the
-// data-plane benchmarks, with the derived ratios the acceptance bars
-// refer to. scripts/bench.sh regenerates it.
+// data-plane and serving benchmarks, with the derived ratios the
+// acceptance bars refer to. scripts/bench.sh regenerates it
+// (BENCH_pr5.json is the committed record for this PR).
 type benchFile struct {
 	Schema  string            `json:"schema"`
 	Scale   int               `json:"scale"`
@@ -49,7 +50,7 @@ func record(name string, r testing.BenchmarkResult, bytesProcessed int64) benchR
 
 // runBenchJSON executes the perf-trajectory benchmark set and writes the
 // JSON record to path. It is the programmatic twin of
-// `go test -bench 'VecmathKernels|Fig4|DeviceRunHot' -benchmem`.
+// `go test -bench 'VecmathKernels|Fig4|DeviceRunHot|ClusterScatterGather|ServeOpenLoop' -benchmem`.
 func runBenchJSON(path string, scale int) error {
 	const page = 16 << 10
 	a := make([]byte, page)
@@ -142,6 +143,44 @@ func runBenchJSON(path string, scale int) error {
 		return err
 	}
 
+	// Open-loop serving: the full Submit -> pooled-fork execution ->
+	// histogram-accounting -> notify path at saturation (queue sized so
+	// nothing sheds; shedding is pinned by tests, not measured here).
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{Concurrency: 2, QueueDepth: 2 * 4096, Prefork: 2})
+	aes, ok := workloads.Find("aes", scale)
+	if !ok {
+		return fmt.Errorf("benchjson: workload aes not found")
+	}
+	if err := srv.Register(aes.Name, aes.Source); err != nil {
+		return err
+	}
+	openLoop := record("serve/open-loop-submit", testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		chans := make([]<-chan *conduit.Response, 0, 4096)
+		for submitted := 0; submitted < bb.N; {
+			n := 4096
+			if rest := bb.N - submitted; rest < n {
+				n = rest
+			}
+			chans = chans[:0]
+			for i := 0; i < n; i++ {
+				ch, err := srv.Submit(conduit.Request{Tenant: "bench", Workload: aes.Name, Policy: "Conduit"})
+				if err != nil {
+					bb.Fatal(err)
+				}
+				chans = append(chans, ch)
+			}
+			for _, ch := range chans {
+				if resp := <-ch; resp.Err != nil {
+					bb.Fatal(resp.Err)
+				}
+			}
+			submitted += n
+		}
+	}), 0)
+	out = append(out, openLoop)
+	srv.Drain()
+
 	f := benchFile{
 		Schema:  "conduit-bench/v1",
 		Scale:   scale,
@@ -151,6 +190,7 @@ func runBenchJSON(path string, scale int) error {
 			"bitwise_kernel_speedup_vs_generic": fmt.Sprintf("%.1fx", bitGen.NsPerOp/bitSpec.NsPerOp),
 			"arith_kernel_speedup_vs_generic":   fmt.Sprintf("%.1fx", ariGen.NsPerOp/ariSpec.NsPerOp),
 			"cluster_simulated_speedup_4shard":  fmt.Sprintf("%.2fx", float64(oneDev.Elapsed)/float64(fourDev.Elapsed)),
+			"open_loop_served_req_per_s":        fmt.Sprintf("%.0f", 1e9/openLoop.NsPerOp),
 		},
 	}
 	data, err := json.MarshalIndent(f, "", "  ")

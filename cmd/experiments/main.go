@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|scaling|all]
-//	experiments -benchjson BENCH_pr4.json [-scale N]
+//	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|scaling|latency|all]
+//	experiments -benchjson BENCH_pr5.json [-scale N]
 //
 // Shared workload x policy sweeps execute concurrently across -workers
 // goroutines, deploying each workload once and restoring the post-deploy
@@ -15,6 +15,15 @@
 // Conduit clusters, sweeping shard counts up to -shards (powers of two
 // plus -shards itself) and reporting scale-out speedup against the
 // 1-shard cluster; combine with -csv for the scaling curve as data.
+//
+// The latency experiment drives the serving stack open-loop: for each
+// policy in -lpolicies, each cluster size up to -shards, and each
+// offered load in -loads, it replays a deterministic -arrival schedule
+// against a pooled server for -loaddur and reports achieved throughput,
+// goodput under the -slo deadline, shed/expired counts, and
+// p50/p99/p999 wall-clock latency; combine with -csv for the
+// throughput-latency curve as data (LATENCY_pr5.csv is a committed
+// example).
 //
 // -benchjson runs the data-plane perf-trajectory benchmarks (kernel
 // microbenches vs the generic reference, a Fig. 4 regeneration, and a
@@ -29,6 +38,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
 
 	conduit "conduit"
 )
@@ -38,18 +50,62 @@ func main() {
 	window := flag.Int("fig10window", 12000, "instruction window for Fig 10")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", 0, "concurrent sweep runs (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 4, "maximum cluster size for the scaling experiment")
+	shards := flag.Int("shards", 4, "maximum cluster size for the scaling and latency experiments")
+	loads := flag.String("loads", "100,200,400", "offered-load points (req/s) for the latency experiment")
+	lpolicies := flag.String("lpolicies", "Conduit", "policies the latency experiment sweeps")
+	arrival := flag.String("arrival", "poisson", "latency-experiment arrival process: poisson, burst, diurnal")
+	slo := flag.Duration("slo", 50*time.Millisecond, "latency-experiment per-request deadline (0 disables)")
+	loaddur := flag.Duration("loaddur", 300*time.Millisecond, "latency-experiment schedule span per point")
 	benchjson := flag.String("benchjson", "", "run the perf-trajectory benchmarks and write the JSON record to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	flag.Parse()
 
+	lat := latencyFlags{loads: *loads, policies: *lpolicies, arrival: *arrival, slo: *slo, dur: *loaddur}
 	// All work happens in run so its defers — in particular stopping the
 	// CPU profile and writing the heap profile — execute before os.Exit.
-	os.Exit(run(*scale, *window, *shards, *csv, *workers, *benchjson, *cpuprofile, *memprofile))
+	os.Exit(run(*scale, *window, *shards, *csv, *workers, lat, *benchjson, *cpuprofile, *memprofile))
 }
 
-func run(scale, window, shards int, csv bool, workers int, benchjson, cpuprofile, memprofile string) int {
+// latencyFlags carries the latency experiment's knobs into run.
+type latencyFlags struct {
+	loads    string
+	policies string
+	arrival  string
+	slo      time.Duration
+	dur      time.Duration
+}
+
+// options parses the flag strings; a bad -loads entry fails the
+// experiment with a useful error instead of a silent zero.
+func (f latencyFlags) options(maxShards int) (conduit.LatencyOptions, error) {
+	var loads []float64
+	for _, s := range strings.Split(f.loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			return conduit.LatencyOptions{}, fmt.Errorf("bad -loads entry %q", s)
+		}
+		loads = append(loads, v)
+	}
+	slo := f.slo
+	if slo == 0 {
+		slo = -1 // LatencyOptions: negative disables deadlines
+	}
+	policies := strings.Split(f.policies, ",")
+	for i := range policies {
+		policies[i] = strings.TrimSpace(policies[i])
+	}
+	return conduit.LatencyOptions{
+		Policies: policies,
+		Shards:   conduit.ShardCounts(maxShards),
+		Loads:    loads,
+		Duration: f.dur,
+		Arrival:  f.arrival,
+		SLO:      slo,
+	}, nil
+}
+
+func run(scale, window, shards int, csv bool, workers int, lat latencyFlags, benchjson, cpuprofile, memprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -115,10 +171,20 @@ func run(scale, window, shards int, csv bool, workers int, benchjson, cpuprofile
 		{"scaling", func() (*conduit.Table, error) {
 			return e.ClusterScaling("Conduit", conduit.ShardCounts(shards))
 		}},
+		{"latency", func() (*conduit.Table, error) {
+			opts, err := lat.options(shards)
+			if err != nil {
+				return nil, err
+			}
+			return e.LatencyCurve(opts)
+		}},
 	}
 	ran := false
 	for _, x := range exps {
-		if which != "all" && which != x.name {
+		// "all" skips the latency sweep: it measures wall-clock serving
+		// behavior, so including it would break "all"'s byte-identical
+		// output contract. Request it by name.
+		if which != x.name && (which != "all" || x.name == "latency") {
 			continue
 		}
 		ran = true

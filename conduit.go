@@ -53,9 +53,21 @@
 // multi-tenant requests through the internal/serve engine — admission
 // queue, bounded concurrency, optional batching of identical in-flight
 // requests, per-tenant latency/energy accounting, and graceful drain.
-// cmd/conduit-serve wraps it in a closed-loop load generator. Because
-// every run is a deterministic function of (workload, policy), served
-// responses are byte-identical to a serial loop over the same requests.
+// Because every run is a deterministic function of (workload, policy),
+// served responses are byte-identical to a serial loop over the same
+// requests.
+//
+// Admission is two-mode: Server.Do is closed-loop (blocks for queue
+// space, then the response), Server.Submit is open-loop (never blocks —
+// a full queue sheds with ErrOverloaded, and a request whose Deadline
+// expires while queued is dropped with ErrDeadlineExceeded before it can
+// consume a pooled fork). Per-tenant wall-clock latency and SLO
+// attainment are tracked in bounded, exactly-mergeable histograms
+// (LatencyHistogram). cmd/conduit-serve wraps both modes in
+// deterministic load generators — closed-loop clients or open-loop
+// Poisson/burst/diurnal arrival schedules (internal/loadgen) — with
+// JSONL trace recording and time-scaled replay; Experiments.LatencyCurve
+// sweeps offered load into throughput-latency/goodput curves.
 //
 // # Scale-out
 //

@@ -1,0 +1,45 @@
+package histo
+
+import (
+	"testing"
+
+	"conduit/internal/sim"
+)
+
+// BenchmarkHistogramAdd is the per-sample accounting cost on the serving
+// hot path (one Add per completed response, under the engine's
+// accounting lock). It must stay allocation-free.
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := New()
+	rng := sim.NewRNG(1)
+	samples := make([]int64, 4096)
+	for i := range samples {
+		samples[i] = int64(rng.Uint64() % (1 << 34))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkHistogramMerge folds two populated histograms — the
+// per-collector aggregation step of the open-loop load generator.
+func BenchmarkHistogramMerge(b *testing.B) {
+	a := fillBench(1)
+	o := fillBench(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(o)
+	}
+}
+
+func fillBench(seed uint64) *Histogram {
+	h := New()
+	rng := sim.NewRNG(seed)
+	for i := 0; i < 10000; i++ {
+		h.Add(int64(rng.Uint64() % (1 << 34)))
+	}
+	return h
+}

@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one scheduled (or observed) request arrival. Durations
+// serialize as integer nanoseconds, so a trace line is portable and
+// diffable: {"at":1500000,"tenant":"tenant-00","workload":"aes",...}.
+type Event struct {
+	// At is the arrival offset from the start of the run.
+	At time.Duration `json:"at"`
+	// Tenant is the accounting principal the request bills to.
+	Tenant string `json:"tenant"`
+	// Workload names the registered application.
+	Workload string `json:"workload"`
+	// Policy is the execution policy.
+	Policy string `json:"policy"`
+	// Deadline is the request's latency budget from submission (its SLO);
+	// 0 means none.
+	Deadline time.Duration `json:"deadline,omitempty"`
+}
+
+// Write emits events as JSONL: one JSON object per line, in slice order.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("loadgen: write trace event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSONL trace, skipping blank lines. Errors name the
+// offending line.
+func Read(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: read trace: %w", err)
+	}
+	return events, nil
+}
+
+// WriteFile records events to path (overwriting).
+func WriteFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a JSONL trace from path.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// A Recorder captures a live run as a trace: each issued request is
+// recorded with its actual wall-clock offset from the recorder's start,
+// so the resulting trace replays the run as it really unfolded —
+// including closed-loop pacing, which exists nowhere but in the observed
+// timestamps. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewRecorder starts recording; offsets are measured from this call.
+func NewRecorder() *Recorder { return &Recorder{start: time.Now()} }
+
+// Record captures one issued request at the current wall-clock offset.
+func (r *Recorder) Record(tenant, workload, policy string, deadline time.Duration) {
+	at := time.Since(r.start)
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		At: at, Tenant: tenant, Workload: workload, Policy: policy, Deadline: deadline,
+	})
+	r.mu.Unlock()
+}
+
+// Events returns the recording so far, sorted by offset (stable, so
+// same-instant events keep their capture order). Concurrent recorders
+// interleave nondeterministically in capture order; sorting by the
+// recorded offset makes the trace itself the canonical artifact.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Replay re-issues a schedule against the wall clock: event i fires at
+// offset events[i].At/speed from the call (speed 2 replays twice as
+// fast; <= 0 selects 1, exact recorded spacing). issue is called on the
+// caller's goroutine, strictly in slice order — the request *sequence* is
+// exactly the trace regardless of timing, which is what makes replays
+// deterministic; only the wall-clock spacing is best-effort. For open-loop
+// semantics issue must not block on request completion (submit, don't
+// wait).
+func Replay(events []Event, speed float64, issue func(Event)) {
+	if speed <= 0 {
+		speed = 1
+	}
+	start := time.Now()
+	for _, ev := range events {
+		target := start.Add(time.Duration(float64(ev.At) / speed))
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		issue(ev)
+	}
+}

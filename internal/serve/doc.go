@@ -4,6 +4,19 @@
 // coalesces identical in-flight requests onto one backend execution, keeps
 // per-tenant latency/energy accounts, and drains gracefully on shutdown.
 //
+// Admission is two-mode. Do is closed-loop: it blocks for queue space and
+// then for the response, so offered load self-throttles to service
+// capacity. Submit is open-loop: it never blocks — a full admission queue
+// sheds the request with ErrOverloaded, and a request whose Deadline
+// expires while queued is dropped at dispatch with ErrDeadlineExceeded
+// before the backend (and thus any pooled device fork) is touched. Shed
+// and expired requests are accounted per tenant, and SLO attainment is
+// measured against offered load, so an overloaded run reads as exactly
+// what it is. Wall-clock latency is tracked in bounded, exactly-mergeable
+// log-linear histograms (internal/histo) rather than full-sample
+// reservoirs, because an open-loop source generates samples without
+// bound.
+//
 // The package is deliberately backend-agnostic — an Engine drives any
 // Runner that can execute one (workload, policy) cell — so the same
 // machinery serves the simulated Conduit SSD today and could front a

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"conduit/internal/histo"
 	"conduit/internal/sim"
 	"conduit/internal/stats"
 )
@@ -21,6 +22,13 @@ type Request struct {
 	// Policy is the execution policy (see conduit.Policies and
 	// conduit.AblationPolicies).
 	Policy string
+	// Deadline is the request's latency budget measured from submission
+	// (its SLO); 0 means none. A request still queued when its budget is
+	// exhausted is dropped at dispatch with ErrDeadlineExceeded — it never
+	// reaches the backend, so an expired request never consumes a pooled
+	// fork. A served request that finishes within Deadline counts toward
+	// the tenant's SLO attainment.
+	Deadline time.Duration
 }
 
 // key is the batching identity: requests with equal keys compute the same
@@ -90,8 +98,19 @@ type Response struct {
 	Shared bool
 }
 
-// ErrDraining is returned by Do once Drain has begun.
+// ErrDraining is returned by Do and Submit once Drain has begun.
 var ErrDraining = errors.New("serve: engine is draining")
+
+// ErrOverloaded is returned by Submit when the admission queue is full:
+// the request is shed at the door — never queued, never executed — which
+// is what keeps an open-loop overload from growing the queue (and every
+// queued request's latency) without bound.
+var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+
+// ErrDeadlineExceeded is the Response.Err of a request whose Deadline
+// passed while it waited in the admission queue. The backend is never
+// invoked for such a request.
+var ErrDeadlineExceeded = errors.New("serve: deadline exceeded before dispatch")
 
 // Engine multiplexes concurrent requests over a bounded worker set with
 // optional same-cell batching and per-tenant accounting. All methods are
@@ -119,6 +138,9 @@ type pending struct {
 	submitted time.Time
 	resp      Response
 	done      chan struct{}
+	// notify, when non-nil (Submit), receives the finished response; it
+	// is buffered so completion never blocks on a slow collector.
+	notify chan *Response
 }
 
 // tenantAccount attributes served work to a tenant. Simulated time and
@@ -126,13 +148,27 @@ type pending struct {
 // bills the full cell cost to every tenant that received it, so the
 // columns read as attributed demand, not device-side consumption; the
 // shared count times the per-cell cost is the saving batching bought.
+//
+// Wall-clock latency lives in a bounded log-linear histogram, not a
+// Reservoir: the open-loop path produces an unbounded sample stream, and
+// the histogram admits it in O(1) space with a fixed relative error
+// (histo.RelativeError) while staying exactly mergeable. Reservoirs
+// remain authoritative for simulated-time experiment statistics, where
+// sample counts are bounded and figures want exact percentiles.
 type tenantAccount struct {
-	requests int64
-	errors   int64
+	requests int64 // completed responses (served, failed, or expired)
+	errors   int64 // backend failures
+	shed     int64 // rejected at admission (ErrOverloaded); not in requests
+	expired  int64 // dropped at dispatch (ErrDeadlineExceeded)
 	shared   int64
-	wall     *stats.Reservoir // wall-clock latency samples, ns
+	attained int64            // served within their deadline (or with none)
+	wall     *histo.Histogram // wall-clock latency of completed responses, ns
 	sim      sim.Time         // simulated time attributed to the tenant
 	energyJ  float64          // simulated energy attributed to the tenant
+}
+
+func newTenantAccount() *tenantAccount {
+	return &tenantAccount{wall: histo.New()}
 }
 
 // NewEngine starts an engine with cfg.Concurrency workers draining the
@@ -150,7 +186,7 @@ func NewEngine(r Runner, cfg Config) *Engine {
 		queue:   make(chan *pending, cfg.QueueDepth),
 		tenants: make(map[string]*tenantAccount),
 	}
-	e.all.wall = stats.NewReservoir()
+	e.all.wall = histo.New()
 	for i := 0; i < cfg.Concurrency; i++ {
 		e.workers.Add(1)
 		go func() {
@@ -179,8 +215,42 @@ func (e *Engine) Do(req Request) (*Response, error) {
 	defer e.admitWG.Done()
 	e.queue <- p
 	<-p.done
-	p.resp.Request = req
 	return &p.resp, p.resp.Err
+}
+
+// Submit admits req without blocking — the open-loop client primitive: a
+// load generator paces submissions off a schedule, not off completions,
+// so admission must shed instead of exerting back-pressure. If the
+// admission queue is full the request is rejected with ErrOverloaded
+// (counted against the tenant as shed; the backend never sees it). After
+// Drain the error is ErrDraining. Otherwise Submit returns a buffered
+// channel that delivers the finished Response; an admitted request's
+// response is always delivered, even if its deadline expires in the
+// queue (Response.Err is then ErrDeadlineExceeded).
+func (e *Engine) Submit(req Request) (<-chan *Response, error) {
+	p := &pending{
+		req:       req,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		notify:    make(chan *Response, 1),
+	}
+	e.admit.Lock()
+	if e.closed {
+		e.admit.Unlock()
+		return nil, ErrDraining
+	}
+	// The try-send happens under the admission lock, so it is ordered
+	// against Drain's closed=true (same lock) and therefore can never
+	// race close(e.queue).
+	select {
+	case e.queue <- p:
+		e.admit.Unlock()
+		return p.notify, nil
+	default:
+		e.admit.Unlock()
+		e.accountShed(req.Tenant)
+		return nil, ErrOverloaded
+	}
 }
 
 // serveOne executes one admitted request on the calling worker. A
@@ -195,6 +265,14 @@ func (e *Engine) Do(req Request) (*Response, error) {
 func (e *Engine) serveOne(p *pending) {
 	start := time.Now()
 	p.resp.Queued = start.Sub(p.submitted)
+	// Deadline gate: a request whose budget expired in the queue is
+	// dropped here, before the backend — and in particular before the
+	// coalescing flight group — so an expired request can neither consume
+	// a pooled fork nor lead an execution other requests join.
+	if p.req.Deadline > 0 && p.resp.Queued > p.req.Deadline {
+		e.finish(p, nil, ErrDeadlineExceeded, false)
+		return
+	}
 	exec := func() (v interface{}, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -233,36 +311,64 @@ func (e *Engine) serveOne(p *pending) {
 	e.finish(p, v, err, false)
 }
 
-// finish completes a request: record the outcome, account it, and release
-// the blocked Do.
+// finish completes a request: record the outcome, account it, release
+// the blocked Do, and deliver the response to an open-loop submitter.
 func (e *Engine) finish(p *pending, v interface{}, err error, shared bool) {
 	if err == nil {
 		p.resp.Outcome = v.(Outcome)
 	}
+	p.resp.Request = p.req
 	p.resp.Err = err
 	p.resp.Shared = shared
 	p.resp.Latency = time.Since(p.submitted)
 	e.account(&p.resp, p.req.Tenant)
 	close(p.done)
+	if p.notify != nil {
+		p.notify <- &p.resp
+	}
+}
+
+// tenant returns (creating if needed) the account for tenant; the caller
+// holds e.acct.
+func (e *Engine) tenant(tenant string) *tenantAccount {
+	t := e.tenants[tenant]
+	if t == nil {
+		t = newTenantAccount()
+		e.tenants[tenant] = t
+	}
+	return t
+}
+
+// accountShed bills an admission rejection: the request never completed,
+// so it joins no latency sample and no request count — only the shed
+// tally, which SLO attainment treats as an offered-but-missed request.
+func (e *Engine) accountShed(tenant string) {
+	e.acct.Lock()
+	defer e.acct.Unlock()
+	e.tenant(tenant).shed++
+	e.all.shed++
 }
 
 func (e *Engine) account(r *Response, tenant string) {
 	e.acct.Lock()
 	defer e.acct.Unlock()
-	t := e.tenants[tenant]
-	if t == nil {
-		t = &tenantAccount{wall: stats.NewReservoir()}
-		e.tenants[tenant] = t
-	}
+	t := e.tenant(tenant)
 	for _, a := range [...]*tenantAccount{t, &e.all} {
 		a.requests++
-		a.wall.Add(sim.Time(r.Latency.Nanoseconds()))
-		if r.Err != nil {
+		a.wall.Add(r.Latency.Nanoseconds())
+		switch {
+		case errors.Is(r.Err, ErrDeadlineExceeded):
+			a.expired++
+			continue
+		case r.Err != nil:
 			a.errors++
 			continue
 		}
 		if r.Shared {
 			a.shared++
+		}
+		if r.Request.Deadline == 0 || r.Latency <= r.Request.Deadline {
+			a.attained++
 		}
 		a.sim += r.Outcome.Elapsed
 		a.energyJ += r.Outcome.EnergyJ
@@ -286,14 +392,54 @@ func (e *Engine) Drain() {
 
 // TenantSnapshot is one tenant's accounting totals (see Snapshot). Sim
 // and EnergyJ are attributed demand: shared responses bill the full cell
-// cost to each recipient.
+// cost to each recipient. Latency percentiles come from the tenant's
+// bounded histogram (relative error histo.RelativeError) over completed
+// responses; shed requests never completed and appear only in Shed.
 type TenantSnapshot struct {
 	Tenant   string
-	Requests int64
+	Requests int64 // completed responses
 	Errors   int64
+	Shed     int64 // rejected at admission (ErrOverloaded)
+	Expired  int64 // dropped at dispatch (ErrDeadlineExceeded)
 	Shared   int64 // responses served by a coalesced/memoized execution
+	Attained int64 // served within their deadline (or with none set)
+	P50      time.Duration
+	P99      time.Duration
+	P999     time.Duration
+	Max      time.Duration
 	Sim      sim.Time
 	EnergyJ  float64
+}
+
+// Attainment is the tenant's SLO attainment over *offered* load: the
+// fraction of all admission attempts (completed + shed) that were served
+// within their deadline. Shedding therefore costs attainment — exactly
+// the accounting that makes an overloaded open-loop run legible.
+func (s TenantSnapshot) Attainment() float64 {
+	offered := s.Requests + s.Shed
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.Attained) / float64(offered)
+}
+
+// snapshotOf renders one account; the caller holds e.acct.
+func snapshotOf(name string, t *tenantAccount) TenantSnapshot {
+	return TenantSnapshot{
+		Tenant:   name,
+		Requests: t.requests,
+		Errors:   t.errors,
+		Shed:     t.shed,
+		Expired:  t.expired,
+		Shared:   t.shared,
+		Attained: t.attained,
+		P50:      time.Duration(t.wall.P50()),
+		P99:      time.Duration(t.wall.P99()),
+		P999:     time.Duration(t.wall.P999()),
+		Max:      time.Duration(t.wall.Max()),
+		Sim:      t.sim,
+		EnergyJ:  t.energyJ,
+	}
 }
 
 // Snapshot returns per-tenant accounting totals sorted by tenant name.
@@ -302,25 +448,36 @@ func (e *Engine) Snapshot() []TenantSnapshot {
 	defer e.acct.Unlock()
 	out := make([]TenantSnapshot, 0, len(e.tenants))
 	for name, t := range e.tenants {
-		out = append(out, TenantSnapshot{
-			Tenant:   name,
-			Requests: t.requests,
-			Errors:   t.errors,
-			Shared:   t.shared,
-			Sim:      t.sim,
-			EnergyJ:  t.energyJ,
-		})
+		out = append(out, snapshotOf(name, t))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
 	return out
 }
 
-// Report renders the per-tenant service metrics as a table: request and
-// error counts, how many responses rode on a shared execution, wall-clock
-// latency percentiles, and the simulated time/energy attributed to the
-// tenant (shared responses bill the full cell cost to each recipient —
-// see tenantAccount). Tenants sort lexically; a TOTAL row closes the
-// table.
+// Total returns the all-tenants aggregate account.
+func (e *Engine) Total() TenantSnapshot {
+	e.acct.Lock()
+	defer e.acct.Unlock()
+	return snapshotOf("TOTAL", &e.all)
+}
+
+// Wall returns an independent copy of the all-tenants wall-clock latency
+// histogram (completed responses, nanosecond samples). Copies taken from
+// several engines — or from per-collector histograms a load generator
+// keeps — merge exactly with Histogram.Merge.
+func (e *Engine) Wall() *histo.Histogram {
+	e.acct.Lock()
+	defer e.acct.Unlock()
+	return e.all.wall.Clone()
+}
+
+// Report renders the per-tenant service metrics as a table: request,
+// error, shed, and deadline-expiry counts, how many responses rode on a
+// shared execution, SLO attainment over offered load, wall-clock latency
+// percentiles from the bounded histogram, and the simulated time/energy
+// attributed to the tenant (shared responses bill the full cell cost to
+// each recipient — see tenantAccount). Tenants sort lexically; a TOTAL
+// row closes the table.
 func (e *Engine) Report() *stats.Table {
 	e.acct.Lock()
 	defer e.acct.Unlock()
@@ -330,12 +487,16 @@ func (e *Engine) Report() *stats.Table {
 	}
 	sort.Strings(names)
 	t := stats.NewTable("conduit-serve: per-tenant service report",
-		"tenant", "requests", "errors", "shared", "mean_ms", "p99_ms", "max_ms", "sim_ms", "energy_J")
+		"tenant", "requests", "errors", "shed", "expired", "shared", "slo_pct",
+		"p50_ms", "p99_ms", "p999_ms", "max_ms", "sim_ms", "energy_J")
 	row := func(name string, a *tenantAccount) {
-		t.AddRowf(name, a.requests, a.errors, a.shared,
-			float64(a.wall.Mean())/1e6,
-			float64(a.wall.P99())/1e6,
-			float64(a.wall.Max())/1e6,
+		s := snapshotOf(name, a)
+		t.AddRowf(name, a.requests, a.errors, a.shed, a.expired, a.shared,
+			fmt.Sprintf("%.1f", 100*s.Attainment()),
+			float64(s.P50)/1e6,
+			float64(s.P99)/1e6,
+			float64(s.P999)/1e6,
+			float64(s.Max)/1e6,
 			float64(a.sim)/1e6,
 			fmt.Sprintf("%.3g", a.energyJ))
 	}

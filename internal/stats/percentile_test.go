@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"testing"
+
+	"conduit/internal/sim"
+)
+
+// TestReservoirNearestRankSemantics pins the exact nearest-rank
+// definition the histogram's differential test (internal/histo) bounds
+// itself against: Percentile(p) returns the rank-ceil(p/100*n) smallest
+// sample, with rank clamped into [1, n]. Any change here silently shifts
+// every latency figure, so the table spells the contract out case by
+// case — p0 and p100, single samples, duplicates, even/odd counts, and
+// percentiles that fall exactly on and between rank boundaries.
+func TestReservoirNearestRankSemantics(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []sim.Time
+		p       float64
+		want    sim.Time
+	}{
+		// Single sample: every percentile is that sample.
+		{"single-p0", []sim.Time{7}, 0, 7},
+		{"single-p50", []sim.Time{7}, 50, 7},
+		{"single-p100", []sim.Time{7}, 100, 7},
+
+		// p0 clamps the rank up to 1: the minimum, not an underflow.
+		{"p0-is-min", []sim.Time{10, 20, 30, 40}, 0, 10},
+		// p100 is the maximum (rank n exactly, no overflow).
+		{"p100-is-max", []sim.Time{10, 20, 30, 40}, 100, 40},
+
+		// Four samples: p25 -> ceil(1.0) = rank 1; p26 -> ceil(1.04) =
+		// rank 2 — the boundary is inclusive on exact multiples.
+		{"exact-boundary", []sim.Time{10, 20, 30, 40}, 25, 10},
+		{"past-boundary", []sim.Time{10, 20, 30, 40}, 26, 20},
+		{"p50-even", []sim.Time{10, 20, 30, 40}, 50, 20},
+		{"p75-even", []sim.Time{10, 20, 30, 40}, 75, 30},
+
+		// Odd count: p50 of 5 samples -> ceil(2.5) = rank 3, the true
+		// median.
+		{"p50-odd", []sim.Time{10, 20, 30, 40, 50}, 50, 30},
+
+		// Nearest-rank never interpolates: p90 of {1..10} is sample 9,
+		// p91 jumps to sample 10.
+		{"no-interpolation-low", []sim.Time{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 90, 9},
+		{"no-interpolation-high", []sim.Time{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 91, 10},
+
+		// Duplicates occupy ranks individually.
+		{"duplicates", []sim.Time{5, 5, 5, 9}, 75, 5},
+		{"duplicates-top", []sim.Time{5, 5, 5, 9}, 76, 9},
+
+		// Insertion order is irrelevant (sorting is internal).
+		{"unsorted-input", []sim.Time{40, 10, 30, 20}, 50, 20},
+
+		// Tail percentiles on a small set: p99 of 100 samples is the
+		// 99th, p99.99 rounds up to the 100th.
+		{"p99-of-100", seq(1, 100), 99, 99},
+		{"p9999-of-100", seq(1, 100), 99.99, 100},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := NewReservoir()
+			for _, s := range c.samples {
+				r.Add(s)
+			}
+			if got := r.Percentile(c.p); got != c.want {
+				t.Errorf("Percentile(%v) over %v = %v, want %v", c.p, c.samples, got, c.want)
+			}
+		})
+	}
+
+	// Empty reservoir: 0 for any percentile, no panic.
+	empty := NewReservoir()
+	for _, p := range []float64{0, 50, 100} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	// Out-of-range percentiles panic (both sides).
+	for _, bad := range []float64{-0.001, 100.001} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", bad)
+				}
+			}()
+			NewReservoir().Percentile(bad)
+		}()
+	}
+}
+
+// seq returns the samples lo..hi inclusive.
+func seq(lo, hi int) []sim.Time {
+	out := make([]sim.Time, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, sim.Time(i))
+	}
+	return out
+}

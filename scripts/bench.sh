@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# bench.sh — record the data-plane perf trajectory.
+# bench.sh — record the data-plane and serving perf trajectory.
 #
-# Runs the kernel microbenchmarks, the macro benchmarks, and writes the
-# machine-readable record the repo commits per PR (BENCH_pr4.json for this
-# one). Usage:
+# Runs the kernel microbenchmarks, the macro benchmarks (including the
+# open-loop serving path), and writes the machine-readable record the
+# repo commits per PR (BENCH_pr5.json for this one). Usage:
 #
 #   scripts/bench.sh [out.json]
 #
@@ -13,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 scale="${SCALE:-2}"
 benchtime="${BENCHTIME:-5x}"
 
@@ -26,5 +26,9 @@ go test -run '^$' -bench 'BenchmarkVecmathKernels' -benchmem ./internal/vecmath
 
 echo
 echo "== macro benchmarks"
-go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|BenchmarkClusterScatterGather' \
+go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|BenchmarkClusterScatterGather|BenchmarkServeOpenLoopSubmit' \
   -benchmem -benchtime "$benchtime" .
+
+echo
+echo "== histogram microbenchmarks (serving accounting hot path)"
+go test -run '^$' -bench 'BenchmarkHistogram' -benchmem ./internal/histo

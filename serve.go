@@ -6,23 +6,38 @@ import (
 	"strings"
 	"sync"
 
+	"conduit/internal/histo"
 	"conduit/internal/serve"
 	"conduit/internal/workloads"
 )
 
 // Serving-layer building blocks, re-exported like the compiler types.
 type (
-	// Request names one offload execution on behalf of a tenant.
+	// Request names one offload execution on behalf of a tenant; its
+	// Deadline (0 = none) is the request's SLO budget from submission.
 	Request = serve.Request
 	// Response is the served result of one request; its Outcome.Value
 	// holds the *RunResult (see ResultOf).
 	Response = serve.Response
 	// TenantSnapshot is one tenant's accounting totals.
 	TenantSnapshot = serve.TenantSnapshot
+	// LatencyHistogram is a bounded log-linear wall-clock latency
+	// histogram (nanosecond samples, exactly mergeable; internal/histo).
+	LatencyHistogram = histo.Histogram
 )
 
-// ErrDraining is returned by Server.Do once Drain has begun.
+// ErrDraining is returned by Server.Do and Server.Submit once Drain has
+// begun.
 var ErrDraining = serve.ErrDraining
+
+// ErrOverloaded is returned by Server.Submit when the admission queue is
+// full: the request is shed without ever executing.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrDeadlineExceeded is the Response.Err of a request whose Deadline
+// expired while it waited in the admission queue; it never consumed a
+// pooled fork.
+var ErrDeadlineExceeded = serve.ErrDeadlineExceeded
 
 // ServeOptions tunes a Server.
 type ServeOptions struct {
@@ -220,6 +235,15 @@ func (s *Server) runCell(workload, policy string) (serve.Outcome, error) {
 // returned error is ErrDraining after Drain, otherwise Response.Err.
 func (s *Server) Do(req Request) (*Response, error) { return s.eng.Do(req) }
 
+// Submit admits one request without blocking (open-loop): the returned
+// channel delivers the response when served. When the admission queue is
+// full the request is shed with ErrOverloaded — it never executes and
+// never consumes a pooled fork — and after Drain the error is
+// ErrDraining. Open-loop load generators pace Submit calls off a
+// schedule (internal/loadgen), so overload surfaces as shed requests and
+// queueing delay instead of silently throttling the generator.
+func (s *Server) Submit(req Request) (<-chan *Response, error) { return s.eng.Submit(req) }
+
 // ResultOf unwraps the RunResult a successful response carries; it returns
 // nil for a nil or failed response.
 func ResultOf(resp *Response) *RunResult {
@@ -255,6 +279,14 @@ func (s *Server) Report() *Table { return s.eng.Report() }
 
 // Tenants returns per-tenant accounting totals sorted by tenant name.
 func (s *Server) Tenants() []TenantSnapshot { return s.eng.Snapshot() }
+
+// Total returns the all-tenants aggregate accounting snapshot.
+func (s *Server) Total() TenantSnapshot { return s.eng.Total() }
+
+// Latencies returns an independent copy of the all-tenants wall-clock
+// latency histogram (completed responses, nanoseconds). Copies merge
+// exactly across servers or runs via LatencyHistogram.Merge.
+func (s *Server) Latencies() *LatencyHistogram { return s.eng.Wall() }
 
 // PoolStats reports each registered application's device-pool counters,
 // keyed by application name — a clustered application contributes one

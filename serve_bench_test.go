@@ -64,6 +64,58 @@ func BenchmarkServeNaivePerRequestDeploy(b *testing.B) {
 	}
 }
 
+// BenchmarkServeOpenLoopSubmit measures the open-loop serving path at
+// saturation: b.N requests submitted back-to-back without pacing (the
+// queue is sized so nothing sheds), then every response collected. It is
+// the per-request cost ceiling of the Submit/notify/histogram-accounting
+// machinery on top of the same pooled execution BenchmarkServePooled
+// measures closed-loop.
+func BenchmarkServeOpenLoopSubmit(b *testing.B) {
+	cfg := conduit.DefaultConfig()
+	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Waves keep the submitted-but-undrained window under the queue
+	// depth, so saturation never trips the shedding this benchmark is
+	// not measuring.
+	const wave = 4096
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{
+		Concurrency: 2, QueueDepth: 2 * wave, Prefork: 2,
+	})
+	if err := srv.RegisterCompiled("serving", c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	chans := make([]<-chan *conduit.Response, 0, wave)
+	for submitted := 0; submitted < b.N; {
+		n := wave
+		if rest := b.N - submitted; rest < n {
+			n = rest
+		}
+		chans = chans[:0]
+		for i := 0; i < n; i++ {
+			ch, err := srv.Submit(conduit.Request{
+				Tenant:   "bench",
+				Workload: "serving",
+				Policy:   servePolicies[(submitted+i)%len(servePolicies)],
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans = append(chans, ch)
+		}
+		for _, ch := range chans {
+			if resp := <-ch; resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+		submitted += n
+	}
+	b.StopTimer()
+	srv.Drain()
+}
+
 func BenchmarkServePooled(b *testing.B) {
 	cfg := conduit.DefaultConfig()
 	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)

@@ -1,0 +1,241 @@
+package conduit_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	conduit "conduit"
+	"conduit/internal/loadgen"
+)
+
+// TestServeDrainRaceLeavesConsistentPools is the drain/Do race contract,
+// exercised with -race on both application shapes: while clients issue
+// closed-loop requests, Drain begins concurrently. Every Do must return
+// either a served response or ErrDraining (never a leaked hang, panic,
+// or partial state), and afterwards every pool — the pooled deployment's
+// and every shard's of the sharded registration — must be closed with
+// zero buffered forks and self-consistent counters.
+func TestServeDrainRaceLeavesConsistentPools(t *testing.T) {
+	cfg := conduit.DefaultConfig()
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{Concurrency: 4, Prefork: 2})
+	if err := srv.Register("pooled", quickstartSource(2*16384)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterSharded("sharded", xorFilterSource(2*16384), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var served, refused int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			workload := "pooled"
+			if i%2 == 1 {
+				workload = "sharded"
+			}
+			for j := 0; ; j++ {
+				resp, err := srv.Do(conduit.Request{Tenant: "t", Workload: workload, Policy: "Conduit"})
+				if errors.Is(err, conduit.ErrDraining) {
+					atomic.AddInt64(&refused, 1)
+					return
+				}
+				if err != nil {
+					t.Errorf("client %d request %d: %v", i, j, err)
+					return
+				}
+				if conduit.ResultOf(resp) == nil {
+					t.Errorf("client %d request %d: served response carries no result", i, j)
+					return
+				}
+				atomic.AddInt64(&served, 1)
+			}
+		}(i)
+	}
+	close(start)
+	// Let traffic flow briefly, then drain underneath it.
+	time.Sleep(30 * time.Millisecond)
+	srv.Drain()
+	wg.Wait()
+
+	if refused == 0 {
+		t.Error("no client observed ErrDraining — drain did not race any Do")
+	}
+	pools := srv.PoolStats()
+	wantPools := []string{"pooled", "sharded#0", "sharded#1"}
+	for _, name := range wantPools {
+		ps, ok := pools[name]
+		if !ok {
+			t.Fatalf("pool %q missing after drain (have %v)", name, pools)
+		}
+		if !ps.Closed {
+			t.Errorf("pool %q still open after drain", name)
+		}
+		if ps.Idle != 0 {
+			t.Errorf("pool %q: %d forks still buffered after drain", name, ps.Idle)
+		}
+		// Counter consistency: every buffer-served fork was produced by
+		// the refiller, and nothing the pool produced is unaccounted for
+		// beyond the clones Close legitimately discarded (preforked =
+		// hits + idle + discarded, idle = 0 here).
+		if ps.Hits > ps.Preforked {
+			t.Errorf("pool %q: %d hits exceed %d preforked clones", name, ps.Hits, ps.Preforked)
+		}
+	}
+	// Accounting agrees with what the clients saw.
+	var accounted int64
+	for _, ts := range srv.Tenants() {
+		accounted += ts.Requests
+	}
+	if accounted != served {
+		t.Errorf("accounted %d requests, clients saw %d served", accounted, served)
+	}
+}
+
+// TestServeOverloadShedsWithoutConsumingForks is the overload acceptance
+// pin at the facade level: a one-worker, one-slot server flooded
+// open-loop must shed with ErrOverloaded, and the shed requests must
+// never execute — provable from the pool counters, because every
+// executed device request consumes exactly one fork (Hits + Misses).
+func TestServeOverloadShedsWithoutConsumingForks(t *testing.T) {
+	cfg := conduit.DefaultConfig()
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{
+		Concurrency: 1, QueueDepth: 1, Prefork: 1,
+	})
+	if err := srv.Register("app", quickstartSource(2*16384)); err != nil {
+		t.Fatal(err)
+	}
+
+	const offered = 40
+	var chans []<-chan *conduit.Response
+	var shed int64
+	for i := 0; i < offered; i++ {
+		c, err := srv.Submit(conduit.Request{Tenant: "t", Workload: "app", Policy: "Conduit"})
+		switch {
+		case err == nil:
+			chans = append(chans, c)
+		case errors.Is(err, conduit.ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	var servedOK int64
+	for _, c := range chans {
+		if resp := <-c; resp.Err == nil {
+			servedOK++
+		} else {
+			t.Errorf("admitted request failed: %v", resp.Err)
+		}
+	}
+	srv.Drain()
+
+	if shed == 0 {
+		t.Fatal("flooding a 1-worker/1-slot server shed nothing — open-loop admission is not shedding")
+	}
+	if servedOK+shed != offered {
+		t.Fatalf("conservation: %d served + %d shed != %d offered", servedOK, shed, offered)
+	}
+	ps, ok := srv.PoolStats()["app"]
+	if !ok {
+		t.Fatal("pool stats missing")
+	}
+	if forks := ps.Hits + ps.Misses; forks != servedOK {
+		t.Fatalf("%d forks consumed for %d executed requests — a shed request consumed a fork", forks, servedOK)
+	}
+	total := srv.Total()
+	if total.Shed != shed || total.Requests != servedOK {
+		t.Fatalf("shed accounting: %+v (want shed=%d requests=%d)", total, shed, servedOK)
+	}
+	if lat := srv.Latencies(); lat.Count() != servedOK {
+		t.Fatalf("latency histogram holds %d samples, want %d (completed responses only)", lat.Count(), servedOK)
+	}
+}
+
+// TestServeReplayedTraceMatchesGeneratedRun wires the whole subsystem
+// end to end: an open-loop Poisson schedule is generated, issued against
+// a server while being recorded, and the recorded trace is then replayed
+// against a second, identically configured server. With shedding
+// impossible (ample queue), both runs must serve the identical request
+// multiset per tenant and per workload — the replay IS the run, as an
+// artifact.
+func TestServeReplayedTraceMatchesGeneratedRun(t *testing.T) {
+	schedule, err := loadgen.Generate(loadgen.Spec{
+		Arrival: "poisson", QPS: 4000, Duration: 60 * time.Millisecond,
+		Seed: 3, Tenants: 2,
+		Workloads: []string{"app"},
+		Policies:  []string{"Conduit", "CPU"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schedule) == 0 {
+		t.Fatal("empty schedule")
+	}
+
+	runOnce := func(events []loadgen.Event, rec *loadgen.Recorder) map[string]int64 {
+		cfg := conduit.DefaultConfig()
+		srv := conduit.NewServer(cfg, conduit.ServeOptions{
+			Concurrency: 4, QueueDepth: 4 * len(events), Prefork: 2,
+		})
+		if err := srv.Register("app", quickstartSource(2*16384)); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var chans []<-chan *conduit.Response
+		loadgen.Replay(events, 50, func(ev loadgen.Event) {
+			if rec != nil {
+				rec.Record(ev.Tenant, ev.Workload, ev.Policy, ev.Deadline)
+			}
+			c, err := srv.Submit(conduit.Request{
+				Tenant: ev.Tenant, Workload: ev.Workload, Policy: ev.Policy, Deadline: ev.Deadline,
+			})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			mu.Lock()
+			chans = append(chans, c)
+			mu.Unlock()
+		})
+		counts := make(map[string]int64)
+		for _, c := range chans {
+			resp := <-c
+			if resp.Err != nil {
+				t.Errorf("response: %v", resp.Err)
+				continue
+			}
+			counts[resp.Request.Tenant+"|"+resp.Request.Workload+"|"+resp.Request.Policy]++
+		}
+		srv.Drain()
+		return counts
+	}
+
+	rec := loadgen.NewRecorder()
+	first := runOnce(schedule, rec)
+	trace := rec.Events()
+	if len(trace) != len(schedule) {
+		t.Fatalf("recorded %d events for %d issued", len(trace), len(schedule))
+	}
+	second := runOnce(trace, nil)
+	if len(first) == 0 {
+		t.Fatal("no cells served")
+	}
+	for k, n := range first {
+		if second[k] != n {
+			t.Errorf("cell %s: generated run served %d, replayed trace served %d", k, n, second[k])
+		}
+	}
+	for k := range second {
+		if _, ok := first[k]; !ok {
+			t.Errorf("replay served cell %s the generated run never issued", k)
+		}
+	}
+}
