@@ -1,0 +1,29 @@
+// Conduitlint machine-checks the simulator's determinism and ownership
+// invariants: no wall-clock or global-rand nondeterminism in simulator
+// packages (nondeterm), no output driven by map iteration order
+// (maporder), arena pages recycled at most once and dead afterwards
+// (arenaowner), and every owned DevicePool closed on all non-panic
+// paths (poolleak).
+//
+// Run it standalone:
+//
+//	go run ./cmd/conduitlint ./...
+//
+// or as a vet tool, which is how CI runs it:
+//
+//	go install ./cmd/conduitlint
+//	go vet -vettool=$(go env GOPATH)/bin/conduitlint ./...
+//
+// Exemptions live only in the committed allowlist
+// (internal/lint/allow/conduitlint.allow); there is no inline ignore
+// pragma. `conduitlint help` describes each analyzer.
+package main
+
+import (
+	"conduit/internal/lint"
+	"conduit/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.Analyzers())
+}

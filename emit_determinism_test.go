@@ -1,0 +1,40 @@
+package conduit_test
+
+import (
+	"strings"
+	"testing"
+
+	"conduit"
+)
+
+// TestTable3EmissionStable pins the report/CSV emission path end to end:
+// two independently constructed harnesses must render Table 3 — the
+// workload-characteristics table, which walks the compiler's array
+// symbol table — byte-identically, in both the human table and CSV
+// encodings. This is the regression test for the map-iteration-order
+// class of bug: a range over an unsorted map anywhere on the path shows
+// up here as row or aggregate drift between fresh processes' worth of
+// state.
+func TestTable3EmissionStable(t *testing.T) {
+	render := func() (string, string) {
+		e := conduit.NewExperiments(conduit.DefaultConfig(), 1)
+		tab, err := e.Table3()
+		if err != nil {
+			t.Fatalf("Table3: %v", err)
+		}
+		var csv strings.Builder
+		tab.CSV(&csv)
+		return tab.String(), csv.String()
+	}
+	text1, csv1 := render()
+	text2, csv2 := render()
+	if text1 != text2 {
+		t.Errorf("Table 3 text rendering differs between fresh harnesses:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+	if csv1 != csv2 {
+		t.Errorf("Table 3 CSV differs between fresh harnesses:\n--- first ---\n%s\n--- second ---\n%s", csv1, csv2)
+	}
+	if !strings.Contains(csv1, "workload") {
+		t.Fatalf("CSV missing header row:\n%s", csv1)
+	}
+}

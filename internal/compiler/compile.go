@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"sort"
 
 	"conduit/internal/isa"
 )
@@ -117,12 +118,11 @@ func (c *Compiled) ArrayNames() []string {
 	for n := range c.arrays {
 		names = append(names, n)
 	}
-	// Order by first page for determinism.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && c.arrays[names[j]][0] < c.arrays[names[j-1]][0]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	// Order by first page for determinism (arrays never share pages, so
+	// the first page is a total order).
+	sort.Slice(names, func(i, j int) bool {
+		return c.arrays[names[i]][0] < c.arrays[names[j]][0]
+	})
 	return names
 }
 

@@ -1,0 +1,88 @@
+// Package analysis defines the analyzer interface for conduitlint, the
+// repository's static-analysis suite. It is a deliberately small,
+// API-compatible subset of golang.org/x/tools/go/analysis — Name/Doc/Run
+// on the analyzer, Fset/Files/Pkg/TypesInfo/Report on the pass — so that
+// each checker reads like a stock go/analysis analyzer and could be
+// ported to the upstream framework by changing one import. The subset
+// exists because this module builds hermetically from the standard
+// library alone: the toolchain image carries no x/tools module, and the
+// determinism checkers must run on every build, not only where a module
+// proxy is reachable.
+//
+// Drivers (internal/lint/driver for `go vet -vettool` and standalone
+// use, internal/lint/analysistest for golden tests) load and type-check
+// a package, construct a Pass per analyzer, and collect diagnostics.
+// Facts, analyzer dependencies, and suggested fixes are intentionally
+// out of scope: every conduitlint analyzer is package-local and
+// report-only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and the
+	// allowlist. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text: one summary line, a blank line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a single type-checked package.
+	// It reports findings via pass.Report and returns an error only for
+	// internal failures, never for findings.
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for its diagnostics. Analyzers must not retain the Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IsTestFile reports whether filename is a Go test file. The conduitlint
+// analyzers check invariants of shipped simulator code; tests assert
+// those invariants from outside and are free to sleep, time, and seed.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}
+
+// Preorder calls fn for every node in every file of the pass, in
+// depth-first source order. It is the traversal helper the upstream
+// inspect.Analyzer would provide.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package arenaowner_test
+
+import (
+	"testing"
+
+	"conduit/internal/lint/analysistest"
+	"conduit/internal/lint/arenaowner"
+)
+
+func TestArenaowner(t *testing.T) {
+	analysistest.Run(t, "testdata", arenaowner.Analyzer, "a")
+}

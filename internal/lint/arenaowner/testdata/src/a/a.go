@@ -1,0 +1,109 @@
+// Package a is arenaowner golden-test input: double recycles and
+// uses-after-recycle along control-flow paths must be flagged; ownership
+// transfers, rebinding, and path-sensitive conditionals must not.
+package a
+
+import "conduit/internal/arena"
+
+// Module mirrors the data-plane wrappers that forward to Pool.Put.
+type Module struct {
+	pool *arena.Pool
+}
+
+func (m *Module) Recycle(b []byte) { m.pool.Put(b) }
+
+type device struct {
+	buf []byte
+}
+
+func doubleRecycle(pool *arena.Pool) {
+	b := pool.Get()
+	b[0] = 1
+	pool.Put(b)
+	pool.Put(b) // want `page "b" may already be recycled on this path`
+}
+
+func useAfterRecycle(pool *arena.Pool) {
+	b := pool.GetZeroed()
+	pool.Put(b)
+	b[0] = 1 // want `page "b" used after Recycle`
+}
+
+func readAfterRecycle(pool *arena.Pool) byte {
+	b := pool.Get()
+	pool.Put(b)
+	return b[0] // want `page "b" returned after Recycle`
+}
+
+func recycleViaWrapper(m *Module, pool *arena.Pool) {
+	b := pool.GetCopy([]byte("seed"))
+	m.Recycle(b)
+	b[0] = 1 // want `page "b" used after Recycle`
+}
+
+func conditionalDouble(pool *arena.Pool, drop bool) {
+	b := pool.Get()
+	if drop {
+		pool.Put(b)
+	}
+	pool.Put(b) // want `page "b" may already be recycled on this path`
+}
+
+func loopDouble(pool *arena.Pool, n int) {
+	b := pool.Get()
+	for i := 0; i < n; i++ {
+		pool.Put(b) // want `page "b" may already be recycled on this path`
+	}
+}
+
+func capturedAfterRecycle(pool *arena.Pool) func() byte {
+	b := pool.Get()
+	pool.Put(b)
+	return func() byte { // want `page "b" captured by closure after Recycle`
+		return b[0]
+	}
+}
+
+// conditionalOK recycles on an early-exit path only; the fallthrough
+// path still owns a live page.
+func conditionalOK(pool *arena.Pool, drop bool) byte {
+	b := pool.Get()
+	if drop {
+		pool.Put(b)
+		return 0
+	}
+	v := b[0]
+	pool.Put(b)
+	return v
+}
+
+// storeOK transfers ownership into a device structure; the page lives on
+// there and is no longer this function's to recycle.
+func storeOK(pool *arena.Pool, d *device) {
+	b := pool.Get()
+	b[0] = 1
+	d.buf = b
+}
+
+// rebindOK rebinds the variable to a fresh page after recycling.
+func rebindOK(pool *arena.Pool) {
+	b := pool.Get()
+	pool.Put(b)
+	b = pool.Get()
+	b[0] = 1
+	pool.Put(b)
+}
+
+// returnOK hands a live page to the caller.
+func returnOK(pool *arena.Pool) []byte {
+	b := pool.GetZeroed()
+	return b
+}
+
+// copyOK: builtins only read; the page stays owned and is recycled once.
+func copyOK(pool *arena.Pool, src []byte) int {
+	b := pool.Get()
+	n := copy(b, src)
+	pool.Put(b)
+	return n
+}

@@ -1,0 +1,36 @@
+// Package arena is a golden-test stub of the real internal/arena: just
+// enough surface (Pool.Get/GetZeroed/GetCopy/Put) for arenaowner's
+// receiver-type matching, with none of the real free-list machinery.
+package arena
+
+type Pool struct {
+	free [][]byte
+	size int
+}
+
+func NewPool(size int) *Pool { return &Pool{size: size} }
+
+func (p *Pool) Get() []byte {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return make([]byte, p.size)
+}
+
+func (p *Pool) GetZeroed() []byte {
+	b := p.Get()
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+func (p *Pool) GetCopy(src []byte) []byte {
+	b := p.Get()
+	copy(b, src)
+	return b
+}
+
+func (p *Pool) Put(b []byte) { p.free = append(p.free, b) }

@@ -1,0 +1,102 @@
+package driver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetTool builds cmd/conduitlint and drives it exactly the way CI
+// does — go vet -vettool — against a scratch module, proving the vet
+// unitchecker protocol end to end: a wall-clock call fails the build
+// with a pointed diagnostic, and clean code passes silently. This is
+// the "fails without its check" guarantee for the whole binary, not
+// just the in-process analyzers.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the lint binary and shells out to go vet")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "conduitlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/conduitlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building conduitlint: %v\n%s", err, out)
+	}
+
+	vet := func(t *testing.T, src string) (string, error) {
+		t.Helper()
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.24.0\n")
+		writeFile(t, filepath.Join(dir, "main.go"), src)
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	t.Run("dirty", func(t *testing.T) {
+		out, err := vet(t, `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}
+`)
+		if err == nil {
+			t.Fatalf("go vet passed code that reads the wall clock; output:\n%s", out)
+		}
+		if !strings.Contains(out, "time.Now reads the wall clock") {
+			t.Errorf("diagnostic missing from vet output:\n%s", out)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		out, err := vet(t, `package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	fmt.Println(rng.Intn(10))
+}
+`)
+		if err != nil {
+			t.Fatalf("go vet failed on clean code: %v\n%s", err, out)
+		}
+	})
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"conduit/internal/lint/analysistest"
+	"conduit/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
+}

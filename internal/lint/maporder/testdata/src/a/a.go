@@ -1,0 +1,111 @@
+// Package a is maporder golden-test input: order-sensitive effects
+// inside range-over-map must be flagged; the collect-then-sort idiom
+// and commutative aggregation must not.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map without a subsequent sort`
+	}
+	return out
+}
+
+func appendSortedOK(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendSortSliceOK(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func emit(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map emits in nondeterministic order`
+	}
+}
+
+func print(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt.Println inside range over map emits in nondeterministic order`
+	}
+}
+
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `call to WriteString inside range over map emits in nondeterministic order`
+	}
+	return b.String()
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map delivers in nondeterministic order`
+	}
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into "sum" inside range over map`
+	}
+	return sum
+}
+
+func stringConcat(m map[string]int) string {
+	var s string
+	for k := range m {
+		s += k // want `string concatenation into "s" inside range over map`
+	}
+	return s
+}
+
+func intSumOK(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func mapCopyOK(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sliceRangeOK(s []string, w io.Writer) {
+	for _, v := range s {
+		fmt.Fprintln(w, v)
+	}
+}
+
+func localAppendOK(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"conduit/internal/lint/analysistest"
+	"conduit/internal/lint/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterm.Analyzer, "a")
+}

@@ -1,0 +1,52 @@
+// Package a is nondeterm golden-test input: wall-clock, global-rand,
+// and machine-shape reads must be flagged; seeded and method-based
+// randomness must not.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"runtime"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want `time.Sleep couples execution to the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the process-global generator`
+}
+
+func globalRandV2() int {
+	return randv2.IntN(10) // want `rand.IntN draws from the process-global generator`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global generator`
+}
+
+func seededOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func shape() int {
+	return runtime.GOMAXPROCS(0) // want `runtime.GOMAXPROCS makes behavior depend on machine shape`
+}
+
+func cpus() int {
+	return runtime.NumCPU() // want `runtime.NumCPU makes behavior depend on machine shape`
+}
+
+func fineRuntime() {
+	runtime.GC()
+}

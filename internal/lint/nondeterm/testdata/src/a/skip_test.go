@@ -1,0 +1,9 @@
+// Test files are exempt: tests assert determinism from the outside and
+// may freely time and sleep. Nothing here may be reported.
+package a
+
+import "time"
+
+func testClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+package poolleak_test
+
+import (
+	"testing"
+
+	"conduit/internal/lint/analysistest"
+	"conduit/internal/lint/poolleak"
+)
+
+func TestPoolleak(t *testing.T) {
+	analysistest.Run(t, "testdata", poolleak.Analyzer, "a")
+}

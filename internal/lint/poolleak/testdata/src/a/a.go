@@ -1,0 +1,106 @@
+// Package a is poolleak golden-test input: function-local pools that can
+// reach a return without Close must be flagged; defers, all-path closes,
+// deployment-level closes, and ownership transfers must not.
+package a
+
+import "conduit"
+
+func use(p *conduit.DevicePool) {}
+
+func work() {}
+
+func newPool() *conduit.DevicePool { return &conduit.DevicePool{} }
+
+func leak(dep *conduit.Deployment) {
+	p := dep.Prefork(4) // want `pool acquired here may reach a return without Close`
+	_ = p
+}
+
+func onePathLeaks(dep *conduit.Deployment, fast bool) {
+	p := dep.Prefork(2) // want `pool acquired here may reach a return without Close`
+	if fast {
+		return
+	}
+	p.Close()
+}
+
+func bareLeak(sys *conduit.System) {
+	dep := sys.Deploy("app")
+	dep.Prefork(4) // want `pool acquired here may reach a return without Close`
+	work()
+}
+
+func discardLeak() {
+	_ = newPool() // want `result of newPool discarded and never reachable for Close`
+}
+
+func sliceLeak(cl *conduit.Cluster) {
+	pools := cl.Prefork(4) // want `pool acquired here may reach a return without Close`
+	_ = pools
+}
+
+func deferOK(dep *conduit.Deployment) {
+	p := dep.Prefork(4)
+	defer p.Close()
+	use(p)
+}
+
+func bothPathsOK(dep *conduit.Deployment, fast bool) int {
+	p := dep.Prefork(2)
+	if fast {
+		p.Close()
+		return 0
+	}
+	n := p.Depth()
+	p.Close()
+	return n
+}
+
+func panicPathOK(dep *conduit.Deployment, ok bool) {
+	p := dep.Prefork(2)
+	if !ok {
+		panic("deploy failed")
+	}
+	p.Close()
+}
+
+// depCloseOK discharges through the deployment: Deployment.Close tears
+// down the attached pool, the facade's canonical shutdown.
+func depCloseOK(sys *conduit.System) {
+	dep := sys.Deploy("app")
+	p := dep.Prefork(4)
+	_ = p
+	dep.Close()
+}
+
+// bareOK: a bare Prefork on a deployment this function created is fine
+// as long as the deployment itself is closed.
+func bareOK(sys *conduit.System) {
+	dep := sys.Deploy("app")
+	dep.Prefork(4)
+	dep.Close()
+}
+
+// escapeReturnOK hands the pool to the caller, who now owns the Close.
+func escapeReturnOK(dep *conduit.Deployment) *conduit.DevicePool {
+	p := dep.Prefork(4)
+	return p
+}
+
+// callerOwnedOK: the deployment is a parameter — its owner still reaches
+// the pool through it and carries the Close obligation.
+func callerOwnedOK(dep *conduit.Deployment) {
+	dep.Prefork(4)
+}
+
+// captureOK: the pool's Close moves into a returned shutdown closure.
+func captureOK(dep *conduit.Deployment) func() {
+	p := dep.Prefork(2)
+	return func() { p.Close() }
+}
+
+// transferOK passes the pool to another function, which takes ownership.
+func transferOK(dep *conduit.Deployment) {
+	p := dep.Prefork(2)
+	use(p)
+}

@@ -1,0 +1,41 @@
+// Package conduit is a golden-test stub of the real facade: just the
+// Deploy/Prefork/Close lifecycle poolleak tracks, with none of the
+// simulator behind it.
+package conduit
+
+type System struct{}
+
+func NewSystem() *System { return &System{} }
+
+func (s *System) Deploy(name string) *Deployment { return &Deployment{} }
+
+type Deployment struct {
+	pool *DevicePool
+}
+
+func (d *Deployment) Prefork(depth int) *DevicePool {
+	d.pool = &DevicePool{depth: depth}
+	return d.pool
+}
+
+func (d *Deployment) Close() {
+	if d.pool != nil {
+		d.pool.Close()
+	}
+}
+
+type DevicePool struct {
+	depth int
+}
+
+func (p *DevicePool) Depth() int { return p.depth }
+
+func (p *DevicePool) Close() {}
+
+type Cluster struct{}
+
+func (c *Cluster) Prefork(depth int) []*DevicePool {
+	return []*DevicePool{{depth: depth}}
+}
+
+func (c *Cluster) Close() {}

@@ -255,7 +255,8 @@ func TestKernelsQuick(t *testing.T) {
 		}
 		return true
 	}
-	cfg := &quick.Config{MaxCount: 400}
+	// Seeded so a failing case reproduces; nil Rand would be time-seeded.
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(13))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}

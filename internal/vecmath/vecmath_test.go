@@ -1,9 +1,16 @@
 package vecmath
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// quickCfg seeds testing/quick explicitly: a nil Config draws from a
+// time-seeded generator, so failures would not reproduce run to run.
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{Rand: rand.New(rand.NewSource(seed))}
+}
 
 func TestLoadStoreRoundTripProperty(t *testing.T) {
 	f := func(v uint64, idx uint8, elemSel uint8) bool {
@@ -13,7 +20,7 @@ func TestLoadStoreRoundTripProperty(t *testing.T) {
 		Store(p, i, elem, v)
 		return Load(p, i, elem) == v&Mask(elem)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(11)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -45,7 +52,7 @@ func TestSignedRoundTripProperty(t *testing.T) {
 		u := uint64(v) & Mask(elem)
 		return FromSigned(ToSigned(u, elem), elem) == u
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(12)); err != nil {
 		t.Fatal(err)
 	}
 }

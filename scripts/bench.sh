@@ -11,7 +11,7 @@
 #   SCALE      workload scale for the macro benches (default 2)
 #   BENCHTIME  go test -benchtime for the printed benches (default 5x)
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 out="${1:-BENCH_pr5.json}"
 scale="${SCALE:-2}"

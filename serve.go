@@ -263,11 +263,18 @@ func (s *Server) Drain() {
 	s.eng.Drain()
 	s.mu.Lock()
 	s.draining = true
-	apps := make([]application, 0, len(s.apps))
-	for _, app := range s.apps {
-		apps = append(apps, app)
+	names := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	apps := make([]application, 0, len(names))
+	for _, name := range names {
+		apps = append(apps, s.apps[name])
 	}
 	s.mu.Unlock()
+	// Close in registration-name order so shutdown (and any pool-stats
+	// snapshot taken concurrently) is reproducible run to run.
 	for _, app := range apps {
 		app.Close()
 	}
