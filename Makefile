@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test race lint bench fmt
+.PHONY: all build test test-oracle race lint bench fmt
 
 all: build lint test
 
@@ -12,6 +12,16 @@ build:
 
 test:
 	go test ./...
+
+# test-oracle runs the differential suites that pin the fast engine to
+# its reference implementations under the race detector: the sim
+# package's property/differential tests (bucket engine vs heap engine,
+# ReserveBatch vs Reserve loop, via internal/sim/simtest) and the
+# top-level golden identity tests (timing-only fast path vs functional
+# reference system, byte for byte).
+test-oracle:
+	go test -race ./internal/sim/...
+	go test -race -run 'FastVsReference|ToReference' .
 
 race:
 	go test -race ./...

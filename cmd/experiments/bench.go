@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	conduit "conduit"
+	"conduit/internal/sim"
 	"conduit/internal/vecmath"
 	"conduit/internal/workloads"
 )
@@ -25,7 +26,7 @@ type benchResult struct {
 // benchFile is the schema of BENCH_*.json: a point-in-time record of the
 // data-plane and serving benchmarks, with the derived ratios the
 // acceptance bars refer to. scripts/bench.sh regenerates it
-// (BENCH_pr5.json is the committed record for this PR).
+// (BENCH_pr7.json is the committed record for this PR).
 type benchFile struct {
 	Schema  string            `json:"schema"`
 	Scale   int               `json:"scale"`
@@ -61,21 +62,57 @@ func runBenchJSON(path string, scale int) error {
 		b[i] = byte(i*17 + 5)
 	}
 	var out []benchResult
-	kernel := func(name string, fn func()) benchResult {
+	micro := func(name string, bytes int64, fn func()) benchResult {
 		r := record(name, testing.Benchmark(func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
 				fn()
 			}
-		}), page)
+		}), bytes)
 		out = append(out, r)
 		return r
+	}
+	kernel := func(name string, fn func()) benchResult {
+		return micro(name, page, fn)
 	}
 
 	bitSpec := kernel("vecmath/bitwise-and-1/specialized", func() { vecmath.Apply(vecmath.OpAnd, dst, a, b, 1) })
 	bitGen := kernel("vecmath/bitwise-and-1/generic", func() { vecmath.ApplyGeneric(vecmath.OpAnd, dst, a, b, 1) })
 	ariSpec := kernel("vecmath/arith-add-4/specialized", func() { vecmath.Apply(vecmath.OpAdd, dst, a, b, 4) })
 	ariGen := kernel("vecmath/arith-add-4/generic", func() { vecmath.ApplyGeneric(vecmath.OpAdd, dst, a, b, 4) })
+
+	// Simulation-engine microbenchmarks: schedule-drain throughput of
+	// the coalescing bucket engine vs the reference heap engine on the
+	// NAND-completion shape (16 events per instant, scattered arrival
+	// order), and ReserveBatch's closed-form fast-forward vs the
+	// equivalent single-Reserve loop.
+	const drainN = 100_000
+	drainTimes := make([]sim.Time, drainN)
+	for i := range drainTimes {
+		drainTimes[i] = sim.Time((i * 7919) % (drainN / 16) * 50)
+	}
+	drain := func(mk func() sim.Oracle) func() {
+		return func() {
+			e := mk()
+			for _, at := range drainTimes {
+				e.Schedule(at, func() {})
+			}
+			e.Run()
+		}
+	}
+	simBucket := micro("sim/engine-drain-coalesced-1e5/bucket", 0, drain(func() sim.Oracle { return sim.NewEngine() }))
+	simHeap := micro("sim/engine-drain-coalesced-1e5/heap", 0, drain(func() sim.Oracle { return sim.NewHeapEngine() }))
+	const ffN = 4096
+	ffBatch := micro("sim/calendar-fast-forward-4096/batch", 0, func() {
+		c := sim.NewCalendar("bench")
+		c.ReserveBatch(0, 0, 100, ffN)
+	})
+	ffLoop := micro("sim/calendar-fast-forward-4096/loop", 0, func() {
+		c := sim.NewCalendar("bench")
+		for j := 0; j < ffN; j++ {
+			c.Reserve(0, 0, 100)
+		}
+	})
 
 	// Fig. 4 regeneration: compile + deploy + run per call, the
 	// whole-simulator macro path.
@@ -187,10 +224,12 @@ func runBenchJSON(path string, scale int) error {
 		GoArch:  runtime.GOARCH,
 		Benches: out,
 		Derived: map[string]string{
-			"bitwise_kernel_speedup_vs_generic": fmt.Sprintf("%.1fx", bitGen.NsPerOp/bitSpec.NsPerOp),
-			"arith_kernel_speedup_vs_generic":   fmt.Sprintf("%.1fx", ariGen.NsPerOp/ariSpec.NsPerOp),
-			"cluster_simulated_speedup_4shard":  fmt.Sprintf("%.2fx", float64(oneDev.Elapsed)/float64(fourDev.Elapsed)),
-			"open_loop_served_req_per_s":        fmt.Sprintf("%.0f", 1e9/openLoop.NsPerOp),
+			"bitwise_kernel_speedup_vs_generic":      fmt.Sprintf("%.1fx", bitGen.NsPerOp/bitSpec.NsPerOp),
+			"arith_kernel_speedup_vs_generic":        fmt.Sprintf("%.1fx", ariGen.NsPerOp/ariSpec.NsPerOp),
+			"engine_coalesced_drain_speedup_vs_heap": fmt.Sprintf("%.1fx", simHeap.NsPerOp/simBucket.NsPerOp),
+			"calendar_fastforward_speedup_vs_loop":   fmt.Sprintf("%.0fx", ffLoop.NsPerOp/ffBatch.NsPerOp),
+			"cluster_simulated_speedup_4shard":       fmt.Sprintf("%.2fx", float64(oneDev.Elapsed)/float64(fourDev.Elapsed)),
+			"open_loop_served_req_per_s":             fmt.Sprintf("%.0f", 1e9/openLoop.NsPerOp),
 		},
 	}
 	data, err := json.MarshalIndent(f, "", "  ")

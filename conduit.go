@@ -284,8 +284,26 @@ type System struct {
 	cfg Config
 }
 
-// NewSystem returns a System for cfg.
-func NewSystem(cfg Config) *System { return &System{cfg: cfg} }
+// NewSystem returns a System for cfg. The system runs in timing-only
+// mode: the simulated data plane carries no payloads, which makes runs
+// far faster while producing byte-identical Results (every modeled
+// latency is data-independent). Page contents are not materialized, so
+// Device.PageBytes and the NVMe payload-read path report an error; use
+// NewReferenceSystem when the computed bytes themselves are needed.
+func NewSystem(cfg Config) *System {
+	cfg.SSD.TimingOnly = true
+	return &System{cfg: cfg}
+}
+
+// NewReferenceSystem returns a System that executes the full functional
+// data plane: every kernel computes real page payloads, which can be
+// read back through Device.PageBytes or the NVMe read path. It is the
+// oracle against which the timing-only fast path is differentially
+// tested, and is typically several times slower.
+func NewReferenceSystem(cfg Config) *System {
+	cfg.SSD.TimingOnly = false
+	return &System{cfg: cfg}
+}
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -413,6 +431,9 @@ func (s *System) Deploy(c *Compiled) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The master is cloned per Run and never executed itself: freeze its
+	// large tables so each fork aliases them copy-on-write.
+	dev.Freeze()
 	return &Deployment{sys: s, c: c, master: dev}, nil
 }
 

@@ -26,7 +26,9 @@ func verifyDeviceAgainstInterpreter(t *testing.T, src *conduit.Source, policy st
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys := conduit.NewSystem(cfg)
+	// Payload readback requires the functional reference system; the
+	// timing-only fast path has no data plane to verify against.
+	sys := conduit.NewReferenceSystem(cfg)
 	res, err := sys.RunCompiled(compiled, policy)
 	if err != nil {
 		t.Fatal(err)

@@ -45,8 +45,9 @@ func main() {
 	}
 
 	// Verify the in-SSD ciphertext equals the host CPU's result: the
-	// functional simulator computes real bytes on every substrate.
-	conduitRun, err := sys.RunCompiled(compiled, "Conduit")
+	// functional reference system computes real bytes on every substrate
+	// (the default timing-only system elides payloads entirely).
+	conduitRun, err := conduit.NewReferenceSystem(cfg).RunCompiled(compiled, "Conduit")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -49,6 +49,18 @@ func NewExperiments(cfg Config, scale int) *Experiments {
 	}
 }
 
+// NewReferenceExperiments builds the same harness on a functional
+// reference system (NewReferenceSystem): every run computes real page
+// payloads instead of eliding them. Figure outputs are required to be
+// byte-identical to the timing-only harness — the golden identity tests
+// enforce it — so this exists for those tests and for debugging, not
+// for routine use.
+func NewReferenceExperiments(cfg Config, scale int) *Experiments {
+	e := NewExperiments(cfg, scale)
+	e.sys = NewReferenceSystem(cfg)
+	return e
+}
+
 // SetWorkers bounds the number of concurrent runs RunGrid (and the figure
 // sweeps built on it) may execute. n < 1 selects GOMAXPROCS.
 func (e *Experiments) SetWorkers(n int) {

@@ -67,6 +67,17 @@ type SSD struct {
 	MappingCacheRatio float64 // fraction of L2P entries resident in DRAM
 	GCThreshold       float64 // free-block fraction that triggers GC
 	OPRatio           float64 // over-provisioning fraction
+
+	// TimingOnly is a simulation-engine switch, not a hardware parameter:
+	// when set, the data plane is elided — page payloads are never stored
+	// or computed, only timing, energy, and activity counters are tracked.
+	// Every latency in the model is data-independent (transfer times are
+	// functions of the page size, compute times of lane count and element
+	// width), so a timing-only run produces byte-identical Results to a
+	// functional run; only the payload-readback hooks (Device.PageBytes
+	// and the NVMe read path) become unavailable. Control flow, including
+	// every validation error path, is unchanged.
+	TimingOnly bool
 }
 
 // Host describes the outside-storage-processing baselines (Table 2: Xeon

@@ -67,11 +67,16 @@ func UnvectorizedCycles(lanes int) int64 {
 	return int64(lanes)*isa.ScalarCyclesPerLane + loopOverheadCycles
 }
 
-// Core is the functional + timed ISP compute core.
+// Core is the functional + timed ISP compute core. With cfg.TimingOnly
+// set results are never computed and Exec returns a nil payload; cycle
+// counts are sized by the configured page (device operands are always
+// whole pages), so timing, energy, and counters are identical to a
+// functional core.
 type Core struct {
-	cfg *config.SSD
-	en  *energy.Account
-	cal *sim.Calendar
+	cfg    *config.SSD
+	en     *energy.Account
+	timing bool
+	cal    *sim.Calendar
 
 	// pool recycles page-sized result buffers. A result returned by Exec
 	// is freshly allocated (private) until the caller stores it; callers
@@ -84,7 +89,7 @@ type Core struct {
 
 // New returns the compute core for cfg, charging energy to en.
 func New(cfg *config.SSD, en *energy.Account) *Core {
-	return &Core{cfg: cfg, en: en, cal: sim.NewCalendar("isp-core"), pool: arena.New(cfg.PageSize)}
+	return &Core{cfg: cfg, en: en, timing: cfg.TimingOnly, cal: sim.NewCalendar("isp-core"), pool: arena.New(cfg.PageSize)}
 }
 
 // outBuffer returns a result buffer of the given size, recycling dead
@@ -124,16 +129,9 @@ func (c *Core) Exec(now, ready sim.Time, op isa.Op, srcs [][]byte, elem int, use
 	if len(srcs) != arity {
 		return nil, 0, fmt.Errorf("cores: %v needs %d vector sources, got %d", op, arity, len(srcs))
 	}
-	var size int
-	if len(srcs) > 0 {
-		size = len(srcs[0])
-		for _, s := range srcs[1:] {
-			if len(s) != size {
-				return nil, 0, fmt.Errorf("cores: operand size mismatch")
-			}
-		}
-	} else {
-		size = c.cfg.PageSize
+	size := c.operandSize(srcs)
+	if size < 0 {
+		return nil, 0, fmt.Errorf("cores: operand size mismatch")
 	}
 	lanes := size / elem
 
@@ -143,12 +141,32 @@ func (c *Core) Exec(now, ready sim.Time, op isa.Op, srcs [][]byte, elem int, use
 	c.cycles += cyc
 	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
 
+	if c.timing {
+		return nil, done, nil
+	}
 	out := c.outBuffer(size)
 	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
 		c.pool.Put(out)
 		return nil, 0, err
 	}
 	return out, done, nil
+}
+
+// operandSize reports the common operand length, c.cfg.PageSize when
+// there are no operands, or -1 on a mismatch. A timing-only core carries
+// elided (nil) operands and always sizes by the configured page — which
+// is what the device paths stream in a functional run too.
+func (c *Core) operandSize(srcs [][]byte) int {
+	if c.timing || len(srcs) == 0 {
+		return c.cfg.PageSize
+	}
+	size := len(srcs[0])
+	for _, s := range srcs[1:] {
+		if len(s) != size {
+			return -1
+		}
+	}
+	return size
 }
 
 // ExecStreaming executes op like Exec but additionally occupies the core
@@ -166,16 +184,9 @@ func (c *Core) ExecStreaming(now, ready sim.Time, op isa.Op, srcs [][]byte, elem
 	if len(srcs) != arity {
 		return nil, 0, fmt.Errorf("cores: %v needs %d vector sources, got %d", op, arity, len(srcs))
 	}
-	var size int
-	if len(srcs) > 0 {
-		size = len(srcs[0])
-		for _, s := range srcs[1:] {
-			if len(s) != size {
-				return nil, 0, fmt.Errorf("cores: operand size mismatch")
-			}
-		}
-	} else {
-		size = c.cfg.PageSize
+	size := c.operandSize(srcs)
+	if size < 0 {
+		return nil, 0, fmt.Errorf("cores: operand size mismatch")
 	}
 	lanes := size / elem
 
@@ -185,6 +196,9 @@ func (c *Core) ExecStreaming(now, ready sim.Time, op isa.Op, srcs [][]byte, elem
 	c.cycles += cyc
 	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
 
+	if c.timing {
+		return nil, done, nil
+	}
 	out := c.outBuffer(size)
 	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
 		c.pool.Put(out)
@@ -200,11 +214,9 @@ func (c *Core) ExecUnvectorized(now, ready sim.Time, op isa.Op, srcs [][]byte, e
 	if op == isa.OpScalar {
 		return nil, 0, fmt.Errorf("cores: scalar regions go through ExecScalar")
 	}
-	var size int
-	if len(srcs) > 0 {
+	size := c.cfg.PageSize
+	if !c.timing && len(srcs) > 0 {
 		size = len(srcs[0])
-	} else {
-		size = c.cfg.PageSize
 	}
 	cyc := UnvectorizedCycles(size / elem)
 	_, done := c.cal.Reserve(now, ready, c.cfg.CoreCycles(cyc))
@@ -212,6 +224,9 @@ func (c *Core) ExecUnvectorized(now, ready sim.Time, op isa.Op, srcs [][]byte, e
 	c.cycles += cyc
 	c.en.Compute("isp", float64(cyc)*c.cfg.ECorePerCycle)
 
+	if c.timing {
+		return nil, done, nil
+	}
 	out := c.outBuffer(size)
 	if err := apply(op, out, srcs, elem, useImm, imm); err != nil {
 		c.pool.Put(out)

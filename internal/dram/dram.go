@@ -110,12 +110,16 @@ func ExecLatency(cfg *config.SSD, o Op, elem int) sim.Time {
 	return sim.Time(Rounds(o, elem)) * cfg.TBbop
 }
 
-// Module is the functional + timed PuD-SSD substrate.
+// Module is the functional + timed PuD-SSD substrate. With cfg.TimingOnly
+// set the data plane is elided: slots are tracked as populated/empty with
+// nil payloads, results are never computed, and timing, energy, counters,
+// and every validation error path stay identical to a functional module.
 type Module struct {
-	cfg   *config.SSD
-	en    *energy.Account
-	units *sim.Group    // concurrent subarray compute sets (MIMDRAM)
-	bus   *sim.Calendar // shared LPDDR4 data bus for transfers in/out
+	cfg    *config.SSD
+	en     *energy.Account
+	timing bool
+	units  *sim.Group    // concurrent subarray compute sets (MIMDRAM)
+	bus    *sim.Calendar // shared LPDDR4 data bus for transfers in/out
 
 	slots    map[int][]byte
 	capacity int
@@ -153,6 +157,7 @@ func NewModule(cfg *config.SSD, en *energy.Account) *Module {
 	return &Module{
 		cfg:      cfg,
 		en:       en,
+		timing:   cfg.TimingOnly,
 		units:    sim.NewGroup("pud-unit", ComputeUnits),
 		bus:      sim.NewCalendar("dram-bus"),
 		slots:    make(map[int][]byte),
@@ -202,17 +207,24 @@ func (m *Module) checkSlot(s int) {
 	}
 }
 
-// Write stores data into slot, occupying the DRAM bus.
+// Write stores data into slot, occupying the DRAM bus. A timing-only
+// module accepts an elided (nil) payload and records the slot as
+// populated; writes always move whole pages, so the transfer is sized by
+// the page, not the payload.
 func (m *Module) Write(now, ready sim.Time, slot int, data []byte) sim.Time {
 	m.checkSlot(slot)
-	if len(data) != m.cfg.PageSize {
+	if len(data) != m.cfg.PageSize && !(m.timing && data == nil) {
 		panic(fmt.Sprintf("dram: write size %d != page size %d", len(data), m.cfg.PageSize))
 	}
-	_, done := m.bus.Reserve(now, ready, m.cfg.DRAMTransferTime(len(data)))
-	m.setSlot(slot, m.pool.GetCopy(data))
+	_, done := m.bus.Reserve(now, ready, m.cfg.DRAMTransferTime(m.cfg.PageSize))
+	var payload []byte
+	if !m.timing {
+		payload = m.pool.GetCopy(data)
+	}
+	m.setSlot(slot, payload)
 	m.writes++
-	m.bytesMoved += int64(len(data))
-	m.en.Move("dram-bus", float64(len(data))*m.cfg.EDRAMPerByte)
+	m.bytesMoved += int64(m.cfg.PageSize)
+	m.en.Move("dram-bus", float64(m.cfg.PageSize)*m.cfg.EDRAMPerByte)
 	return done
 }
 
@@ -223,13 +235,20 @@ func (m *Module) Read(now, ready sim.Time, slot int) ([]byte, sim.Time) {
 	m.reads++
 	m.bytesMoved += int64(m.cfg.PageSize)
 	m.en.Move("dram-bus", float64(m.cfg.PageSize)*m.cfg.EDRAMPerByte)
+	if m.timing {
+		return nil, done
+	}
 	return m.Data(slot), done
 }
 
 // Data returns a copy of slot contents without timing effects (test and
-// verification hook). Unwritten slots read as zero.
+// verification hook). Unwritten slots read as zero. A timing-only module
+// has no payloads and returns nil.
 func (m *Module) Data(slot int) []byte {
 	m.checkSlot(slot)
+	if m.timing {
+		return nil
+	}
 	if d, ok := m.slots[slot]; ok {
 		return m.pool.GetCopy(d)
 	}
@@ -278,17 +297,21 @@ func (m *Module) Exec(now, ready sim.Time, op Op, dst int, srcs []int, elem int,
 	if useImm {
 		nvals--
 	}
-	if cap(m.valScratch) < nvals {
-		m.valScratch = make([][]byte, nvals)
-	}
-	vals := m.valScratch[:nvals]
-	// Drop the borrowed payload references on every exit (including error
-	// returns) so the scratch slice never pins a dead page against GC.
-	defer func() {
-		for i := range vals {
-			vals[i] = nil
+	var vals [][]byte
+	if !m.timing {
+		if cap(m.valScratch) < nvals {
+			m.valScratch = make([][]byte, nvals)
 		}
-	}()
+		vals = m.valScratch[:nvals]
+		// Drop the borrowed payload references on every exit (including
+		// error returns) so the scratch slice never pins a dead page
+		// against GC.
+		defer func() {
+			for i := range vals {
+				vals[i] = nil
+			}
+		}()
+	}
 	for i, s := range srcs {
 		if useImm && i == arity-1 {
 			continue
@@ -297,7 +320,9 @@ func (m *Module) Exec(now, ready sim.Time, op Op, dst int, srcs []int, elem int,
 		if !m.Populated(s) {
 			return 0, fmt.Errorf("dram: %v source slot %d not populated", op, s)
 		}
-		vals[i] = m.slots[s]
+		if !m.timing {
+			vals[i] = m.slots[s]
+		}
 	}
 
 	rounds := Rounds(op, elem)
@@ -305,6 +330,10 @@ func (m *Module) Exec(now, ready sim.Time, op Op, dst int, srcs []int, elem int,
 	m.bbops += int64(rounds)
 	m.en.Compute("pud", float64(rounds)*m.cfg.EBbop)
 
+	if m.timing {
+		m.setSlot(dst, nil)
+		return done, nil
+	}
 	out := m.pool.Get() // fully overwritten by apply
 	m.apply(op, out, vals, elem, useImm, imm)
 	m.setSlot(dst, out)
@@ -400,6 +429,7 @@ func (m *Module) Clone(en *energy.Account) *Module {
 	c := &Module{
 		cfg:        m.cfg,
 		en:         en,
+		timing:     m.timing,
 		units:      m.units.Clone(),
 		bus:        m.bus.Clone(),
 		slots:      make(map[int][]byte, len(m.slots)),

@@ -1,0 +1,94 @@
+package ftl
+
+// The FTL's page-granular tables (L2P, P2L, valid bitmap) are the bulk
+// of a device clone: several megabytes each at default geometry, copied
+// on every deployment fork. cowTable stores them as fixed-size chunks
+// with per-chunk ownership so a clone can alias unowned chunks instead
+// of copying them. A chunk is written in place only while owned; the
+// first write to an unowned chunk copies it first (copy-on-write), so
+// aliased chunks are immutable and clones may run concurrently.
+//
+// Freeze releases ownership of every chunk. Freezing the pristine
+// post-deploy master makes each subsequent fork O(chunks) pointer
+// copies; forks then pay only for the chunks they actually write,
+// which is proportional to the program footprint rather than the
+// drive capacity.
+
+const (
+	cowShift = 14 // 16K entries per chunk
+	cowChunk = 1 << cowShift
+	cowMask  = cowChunk - 1
+)
+
+// cowTable is a chunked copy-on-write array of n elements.
+type cowTable[T comparable] struct {
+	n      int
+	chunks [][]T
+	owned  []bool // owned[c]: chunks[c] is exclusively ours, writable in place
+}
+
+func newCOWTable[T comparable](n int, fill T) cowTable[T] {
+	nc := (n + cowChunk - 1) / cowChunk
+	t := cowTable[T]{n: n, chunks: make([][]T, nc), owned: make([]bool, nc)}
+	var zero T
+	for c := range t.chunks {
+		size := cowChunk
+		if c == nc-1 {
+			size = n - c*cowChunk
+		}
+		ch := make([]T, size)
+		if fill != zero {
+			for i := range ch {
+				ch[i] = fill
+			}
+		}
+		t.chunks[c] = ch
+		t.owned[c] = true
+	}
+	return t
+}
+
+// Len reports the element count.
+func (t *cowTable[T]) Len() int { return t.n }
+
+// At reads element i.
+func (t *cowTable[T]) At(i int) T { return t.chunks[i>>cowShift][i&cowMask] }
+
+// Set writes element i, copying the containing chunk first if it is
+// shared with another table.
+func (t *cowTable[T]) Set(i int, v T) {
+	c := i >> cowShift
+	if !t.owned[c] {
+		t.chunks[c] = append([]T(nil), t.chunks[c]...)
+		t.owned[c] = true
+	}
+	t.chunks[c][i&cowMask] = v
+}
+
+// Freeze releases ownership of every chunk: the table keeps its
+// contents but the next write to any chunk copies it first. A frozen
+// table clones in O(chunks) and is safe to clone from multiple
+// goroutines concurrently, since Clone never mutates the parent.
+func (t *cowTable[T]) Freeze() {
+	for c := range t.owned {
+		t.owned[c] = false
+	}
+}
+
+// Clone returns an independent table: chunks the parent owns are deep
+// copied (the parent may still write them in place); unowned chunks are
+// aliased and protected by copy-on-write on both sides.
+func (t *cowTable[T]) Clone() cowTable[T] {
+	nt := cowTable[T]{
+		n:      t.n,
+		chunks: append([][]T(nil), t.chunks...),
+		owned:  make([]bool, len(t.owned)),
+	}
+	for c, own := range t.owned {
+		if own {
+			nt.chunks[c] = append([]T(nil), t.chunks[c]...)
+			nt.owned[c] = true
+		}
+	}
+	return nt
+}

@@ -17,9 +17,11 @@ type FTL struct {
 	geo nand.Geometry
 	arr *nand.Array
 
-	l2p   []int // LPN -> flat physical page index, -1 if unmapped
-	p2l   []LPN // physical page -> LPN, -1 if free/invalid
-	valid []bool
+	// Page-granular tables, chunked copy-on-write so deployment forks
+	// share unwritten chunks with the frozen master (see cow.go).
+	l2p   cowTable[int32] // LPN -> flat physical page index, -1 if unmapped
+	p2l   cowTable[LPN]   // physical page -> LPN, -1 if free/invalid
+	valid cowTable[bool]
 
 	// Per-plane allocation state.
 	freeBlocks  [][]int // free block flat-indices per plane
@@ -42,20 +44,14 @@ func New(cfg *config.SSD, arr *nand.Array) *FTL {
 		cfg:         cfg,
 		geo:         geo,
 		arr:         arr,
-		l2p:         make([]int, cfg.UsablePages()),
-		p2l:         make([]LPN, cfg.TotalPages()),
-		valid:       make([]bool, cfg.TotalPages()),
+		l2p:         newCOWTable[int32](cfg.UsablePages(), -1),
+		p2l:         newCOWTable[LPN](cfg.TotalPages(), -1),
+		valid:       newCOWTable[bool](cfg.TotalPages(), false),
 		freeBlocks:  make([][]int, planes),
 		activeBlock: make([]int, planes),
 		nextPage:    make([]int, planes),
 		validCount:  make([]int, geo.TotalBlocks()),
 		cache:       newMappingCache(int(float64(cfg.UsablePages()) * cfg.MappingCacheRatio)),
-	}
-	for i := range f.l2p {
-		f.l2p[i] = -1
-	}
-	for i := range f.p2l {
-		f.p2l[i] = -1
 	}
 	for p := 0; p < planes; p++ {
 		f.activeBlock[p] = -1
@@ -73,16 +69,16 @@ func New(cfg *config.SSD, arr *nand.Array) *FTL {
 func (f *FTL) Planes() int { return len(f.freeBlocks) }
 
 // Capacity reports the logical capacity in pages.
-func (f *FTL) Capacity() int { return len(f.l2p) }
+func (f *FTL) Capacity() int { return f.l2p.Len() }
 
 // IsMapped reports whether lpn currently has a physical page.
 func (f *FTL) IsMapped(lpn LPN) bool {
-	return f.l2p[f.checkLPN(lpn)] != -1
+	return f.l2p.At(f.checkLPN(lpn)) != -1
 }
 
 func (f *FTL) checkLPN(lpn LPN) int {
-	if lpn < 0 || int(lpn) >= len(f.l2p) {
-		panic(fmt.Sprintf("ftl: LPN %d out of range [0,%d)", lpn, len(f.l2p)))
+	if lpn < 0 || int(lpn) >= f.l2p.Len() {
+		panic(fmt.Sprintf("ftl: LPN %d out of range [0,%d)", lpn, f.l2p.Len()))
 	}
 	return int(lpn)
 }
@@ -92,7 +88,7 @@ func (f *FTL) checkLPN(lpn LPN) int {
 // (TL2PLookupFlash) and installs it in the cache (DFTL demand caching).
 func (f *FTL) Lookup(lpn LPN) (nand.Addr, sim.Time, error) {
 	i := f.checkLPN(lpn)
-	if f.l2p[i] == -1 {
+	if f.l2p.At(i) == -1 {
 		return nand.Addr{}, 0, fmt.Errorf("ftl: LPN %d is unmapped", lpn)
 	}
 	var lat sim.Time
@@ -104,17 +100,17 @@ func (f *FTL) Lookup(lpn LPN) (nand.Addr, sim.Time, error) {
 		lat = f.cfg.TL2PLookupFlash
 		f.cache.insert(lpn)
 	}
-	return f.geo.AddrOf(f.l2p[i]), lat, nil
+	return f.geo.AddrOf(int(f.l2p.At(i))), lat, nil
 }
 
 // PhysAddr translates lpn without modelling lookup latency (internal and
 // test use).
 func (f *FTL) PhysAddr(lpn LPN) (nand.Addr, bool) {
 	i := f.checkLPN(lpn)
-	if f.l2p[i] == -1 {
+	if f.l2p.At(i) == -1 {
 		return nand.Addr{}, false
 	}
-	return f.geo.AddrOf(f.l2p[i]), true
+	return f.geo.AddrOf(int(f.l2p.At(i))), true
 }
 
 // Write stores data for lpn on flash: it allocates a page (running GC if
@@ -207,30 +203,30 @@ func (f *FTL) Read(now, ready sim.Time, lpn LPN) ([]byte, sim.Time, error) {
 // DRAM under the lazy-coherence protocol and the flash copy is stale).
 func (f *FTL) Invalidate(lpn LPN) {
 	i := f.checkLPN(lpn)
-	if f.l2p[i] == -1 {
+	if f.l2p.At(i) == -1 {
 		return
 	}
-	f.invalidatePhys(f.l2p[i])
-	f.l2p[i] = -1
+	f.invalidatePhys(int(f.l2p.At(i)))
+	f.l2p.Set(i, -1)
 }
 
 func (f *FTL) invalidatePhys(phys int) {
-	if f.valid[phys] {
-		f.valid[phys] = false
-		f.p2l[phys] = -1
+	if f.valid.At(phys) {
+		f.valid.Set(phys, false)
+		f.p2l.Set(phys, -1)
 		f.validCount[phys/f.cfg.PagesPerBlock]--
 	}
 }
 
 func (f *FTL) commitMapping(lpn LPN, addr nand.Addr) {
 	i := f.checkLPN(lpn)
-	if f.l2p[i] != -1 {
-		f.invalidatePhys(f.l2p[i])
+	if f.l2p.At(i) != -1 {
+		f.invalidatePhys(int(f.l2p.At(i)))
 	}
 	phys := f.geo.PageIndex(addr)
-	f.l2p[i] = phys
-	f.p2l[phys] = lpn
-	f.valid[phys] = true
+	f.l2p.Set(i, int32(phys))
+	f.p2l.Set(phys, lpn)
+	f.valid.Set(phys, true)
 	f.validCount[f.geo.BlockIndex(addr)]++
 	f.cache.insert(lpn)
 }
@@ -341,10 +337,10 @@ func (f *FTL) collect(now sim.Time, plane int) (sim.Time, error) {
 		src := base
 		src.Page = p
 		phys := f.geo.PageIndex(src)
-		if !f.valid[phys] {
+		if !f.valid.At(phys) {
 			continue
 		}
-		lpn := f.p2l[phys]
+		lpn := f.p2l.At(phys)
 		data, rdone := f.arr.Read(now, done, src)
 		dst := targetBase
 		dst.Page = f.nextPage[plane]
@@ -434,9 +430,9 @@ func (f *FTL) Clone(arr *nand.Array) *FTL {
 		cfg:         f.cfg,
 		geo:         f.geo,
 		arr:         arr,
-		l2p:         append([]int(nil), f.l2p...),
-		p2l:         append([]LPN(nil), f.p2l...),
-		valid:       append([]bool(nil), f.valid...),
+		l2p:         f.l2p.Clone(),
+		p2l:         f.p2l.Clone(),
+		valid:       f.valid.Clone(),
 		freeBlocks:  make([][]int, len(f.freeBlocks)),
 		activeBlock: append([]int(nil), f.activeBlock...),
 		nextPage:    append([]int(nil), f.nextPage...),
@@ -452,6 +448,17 @@ func (f *FTL) Clone(arr *nand.Array) *FTL {
 		c.freeBlocks[p] = append([]int(nil), blocks...)
 	}
 	return c
+}
+
+// Freeze releases ownership of the page-granular tables so subsequent
+// Clones alias their chunks copy-on-write instead of copying them. Call
+// it on a pristine master that will be cloned many times; Clone itself
+// never mutates the parent, so a frozen FTL may be cloned from multiple
+// goroutines concurrently.
+func (f *FTL) Freeze() {
+	f.l2p.Freeze()
+	f.p2l.Freeze()
+	f.valid.Freeze()
 }
 
 // Stats reports FTL activity counters.
@@ -472,45 +479,67 @@ func maxTime(a, b sim.Time) sim.Time {
 }
 
 // mappingCache is a fixed-capacity LRU of cached L2P entries (the DFTL
-// cached mapping table).
+// cached mapping table). Nodes live in a flat slab indexed by int32 and
+// linked by slab index rather than by pointer: cloning the cache — which
+// Device.Clone does on every deployment fork — is then one slice copy
+// plus one map copy instead of an allocation per cached entry, and the
+// slab stays dense (freed slots are recycled through a free list
+// threaded over next).
 type mappingCache struct {
 	capacity int
-	entries  map[LPN]*cacheNode
-	head     *cacheNode // most recent
-	tail     *cacheNode // least recent
+	index    map[LPN]int32 // lpn -> slab slot
+	nodes    []cacheNode
+	head     int32 // most recent, -1 if empty
+	tail     int32 // least recent, -1 if empty
+	free     int32 // free-slot list head (threaded through next), -1 if none
 }
 
 type cacheNode struct {
 	lpn        LPN
-	prev, next *cacheNode
+	prev, next int32
 }
 
 func newMappingCache(capacity int) *mappingCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &mappingCache{capacity: capacity, entries: make(map[LPN]*cacheNode)}
+	return &mappingCache{
+		capacity: capacity,
+		index:    make(map[LPN]int32),
+		head:     -1, tail: -1, free: -1,
+	}
 }
 
 // clone copies the cache preserving the exact recency order.
 func (c *mappingCache) clone() *mappingCache {
-	nc := newMappingCache(c.capacity)
-	for n := c.tail; n != nil; n = n.prev {
-		cp := &cacheNode{lpn: n.lpn}
-		nc.entries[cp.lpn] = cp
-		nc.pushFront(cp)
+	nc := *c
+	nc.index = make(map[LPN]int32, len(c.index))
+	for k, v := range c.index {
+		nc.index[k] = v
 	}
-	return nc
+	nc.nodes = append([]cacheNode(nil), c.nodes...)
+	return &nc
+}
+
+// alloc returns a free slab slot, growing the slab if none is free.
+func (c *mappingCache) alloc() int32 {
+	if c.free != -1 {
+		i := c.free
+		c.free = c.nodes[i].next
+		return i
+	}
+	c.nodes = append(c.nodes, cacheNode{})
+	return int32(len(c.nodes) - 1)
 }
 
 // touch reports whether lpn is cached, refreshing its recency.
 func (c *mappingCache) touch(lpn LPN) bool {
-	n, ok := c.entries[lpn]
+	i, ok := c.index[lpn]
 	if !ok {
 		return false
 	}
-	c.unlink(n)
-	c.pushFront(n)
+	c.unlink(i)
+	c.pushFront(i)
 	return true
 }
 
@@ -519,37 +548,42 @@ func (c *mappingCache) insert(lpn LPN) {
 	if c.touch(lpn) {
 		return
 	}
-	if len(c.entries) >= c.capacity {
+	if len(c.index) >= c.capacity {
 		lru := c.tail
 		c.unlink(lru)
-		delete(c.entries, lru.lpn)
+		delete(c.index, c.nodes[lru].lpn)
+		c.nodes[lru].next = c.free
+		c.free = lru
 	}
-	n := &cacheNode{lpn: lpn}
-	c.entries[lpn] = n
-	c.pushFront(n)
+	i := c.alloc()
+	c.nodes[i] = cacheNode{lpn: lpn}
+	c.index[lpn] = i
+	c.pushFront(i)
 }
 
-func (c *mappingCache) unlink(n *cacheNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *mappingCache) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev != -1 {
+		c.nodes[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next != -1 {
+		c.nodes[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = -1, -1
 }
 
-func (c *mappingCache) pushFront(n *cacheNode) {
-	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+func (c *mappingCache) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev, n.next = -1, c.head
+	if c.head != -1 {
+		c.nodes[c.head].prev = i
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.head = i
+	if c.tail == -1 {
+		c.tail = i
 	}
 }

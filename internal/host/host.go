@@ -127,9 +127,15 @@ func (m *Model) Run(prog *isa.Program, inputs map[isa.PageID][]byte) (*Result, m
 
 	// Page buffers are run-local: every mem payload is allocated by this
 	// run (inputs are copied in), so a payload replaced by a later write
-	// to the same page is dead and goes back to the pool.
-	pool := arena.New(cfg.PageSize)
-	mem := make(map[isa.PageID][]byte, prog.Pages)
+	// to the same page is dead and goes back to the pool. Timing-only
+	// runs skip the functional pass entirely; every latency above and
+	// below is data-independent, so the Result is unchanged.
+	var pool *arena.Pool
+	var mem map[isa.PageID][]byte
+	if !cfg.TimingOnly {
+		pool = arena.New(cfg.PageSize)
+		mem = make(map[isa.PageID][]byte, prog.Pages)
+	}
 	load := func(p isa.PageID) []byte {
 		if b, ok := mem[p]; ok {
 			return b
@@ -213,7 +219,7 @@ func (m *Model) Run(prog *isa.Program, inputs map[isa.PageID][]byte) (*Result, m
 		lat.Add(t)
 
 		// Functional execution for verification.
-		if inst.Op != isa.OpScalar && inst.Dst != isa.NoPage {
+		if !cfg.TimingOnly && inst.Op != isa.OpScalar && inst.Dst != isa.NoPage {
 			srcs = srcs[:0]
 			for _, s := range inst.Srcs {
 				srcs = append(srcs, load(s))

@@ -37,6 +37,11 @@ type Operand struct {
 	Addr     Addr
 	InBuffer bool   // take the plane buffer instead of sensing Addr
 	Data     []byte // latch-loaded data; Addr is ignored when set
+	// Latched marks a latch-loaded operand independently of Data, so a
+	// timing-only array (config.SSD.TimingOnly) classifies operands
+	// identically with the payload elided. Functional callers may leave it
+	// unset; a non-nil Data implies it.
+	Latched bool
 }
 
 // BitOp enumerates the bulk bitwise operations IFP supports
@@ -67,13 +72,17 @@ const (
 	ArithShr
 )
 
-// Array is the functional + timed NAND flash subsystem.
+// Array is the functional + timed NAND flash subsystem. With
+// cfg.TimingOnly set it elides the data plane: page payloads are never
+// stored and results never computed, while timing, energy, counters, and
+// every validation error path stay identical to a functional array.
 type Array struct {
-	cfg  *config.SSD
-	geo  Geometry
-	en   *energy.Account
-	dies []*sim.Calendar // one per die: senses/programs/erases/latch ops serialize here
-	bus  []*sim.Calendar // one per channel: data transfers serialize here
+	cfg    *config.SSD
+	geo    Geometry
+	en     *energy.Account
+	timing bool
+	dies   []*sim.Calendar // one per die: senses/programs/erases/latch ops serialize here
+	bus    []*sim.Calendar // one per channel: data transfers serialize here
 
 	data      map[int][]byte // flat page index -> bytes (lazy; erased pages read as 0xFF)
 	state     []pageState
@@ -96,6 +105,7 @@ func NewArray(cfg *config.SSD, en *energy.Account) *Array {
 		cfg:       cfg,
 		geo:       geo,
 		en:        en,
+		timing:    cfg.TimingOnly,
 		data:      make(map[int][]byte),
 		bitErrors: make(map[int]int),
 		state:     make([]pageState, cfg.TotalPages()),
@@ -171,6 +181,9 @@ func (a *Array) Read(now, ready sim.Time, addr Addr) ([]byte, sim.Time) {
 	a.bytesOut += int64(a.cfg.PageSize)
 	a.en.Compute("ifp", a.cfg.EReadPerChannel)
 	a.en.Move("flash-channel", a.cfg.EDMAPerChannel)
+	if a.timing {
+		return nil, done
+	}
 	return a.PageData(addr), done
 }
 
@@ -195,17 +208,23 @@ func (a *Array) Program(now, ready sim.Time, addr Addr, data []byte) sim.Time {
 	if a.state[idx] == pageProgrammed {
 		panic(fmt.Sprintf("nand: program to programmed page %v", addr))
 	}
-	if len(data) != a.cfg.PageSize {
+	// A timing-only array accepts an elided (nil) payload; any payload
+	// actually supplied must still be page-sized.
+	if len(data) != a.cfg.PageSize && !(a.timing && data == nil) {
 		panic(fmt.Sprintf("nand: program size %d != page size %d", len(data), a.cfg.PageSize))
 	}
-	_, moved := a.bus[addr.Channel].Reserve(now, ready, a.cfg.ChannelTransferTime(len(data)))
+	// Programs always move whole pages, so the transfer is sized by the
+	// page, not the payload — identical with the payload elided.
+	_, moved := a.bus[addr.Channel].Reserve(now, ready, a.cfg.ChannelTransferTime(a.cfg.PageSize))
 	die := a.dies[a.geo.DieIndex(addr)]
 	_, done := die.Reserve(now, moved, a.cfg.TProg)
-	a.data[idx] = append([]byte(nil), data...)
+	if !a.timing {
+		a.data[idx] = append([]byte(nil), data...)
+	}
 	delete(a.bitErrors, idx)
 	a.state[idx] = pageProgrammed
 	a.programs++
-	a.bytesIn += int64(len(data))
+	a.bytesIn += int64(a.cfg.PageSize)
 	a.en.Compute("ifp", a.eProg)
 	a.en.Move("flash-channel", a.cfg.EDMAPerChannel)
 	return done
@@ -269,24 +288,35 @@ func (a *Array) Bitwise(now, ready sim.Time, op BitOp, ops []Operand) (sim.Time,
 	die := a.dies[a.geo.DieIndex(home)]
 
 	// Gather operand values; verify buffer operands are actually latched.
-	vals := make([][]byte, len(ops))
+	// Validation is identical in timing-only mode; only the payload
+	// references are skipped.
+	var vals [][]byte
+	if !a.timing {
+		vals = make([][]byte, len(ops))
+	}
 	for i, o := range ops {
 		switch {
-		case o.Data != nil:
-			if len(o.Data) != a.cfg.PageSize {
+		case o.Latched || o.Data != nil:
+			if o.Data != nil && len(o.Data) != a.cfg.PageSize {
 				return 0, fmt.Errorf("nand: latch operand %d is %d bytes", i, len(o.Data))
 			}
-			vals[i] = o.Data
+			if !a.timing {
+				vals[i] = o.Data
+			}
 		case o.InBuffer:
 			if !buf.Valid {
 				return 0, fmt.Errorf("nand: operand %d expects plane buffer, which is empty", i)
 			}
-			vals[i] = buf.Data
+			if !a.timing {
+				vals[i] = buf.Data
+			}
 		default:
 			if !a.IsProgrammed(o.Addr) {
 				return 0, fmt.Errorf("nand: operand %d page %v not programmed", i, o.Addr)
 			}
-			vals[i] = a.raw(o.Addr)
+			if !a.timing {
+				vals[i] = a.raw(o.Addr)
+			}
 		}
 	}
 
@@ -304,6 +334,11 @@ func (a *Array) Bitwise(now, ready sim.Time, op BitOp, ops []Operand) (sim.Time,
 	}
 	a.mwsOps++
 	_, done := die.Reserve(now, ready, dur)
+	if a.timing {
+		buf.Data = nil
+		buf.Valid = true
+		return done, nil
+	}
 
 	// Functional result, through the word-parallel vecmath kernels
 	// (bitwise operations are element-width independent).
@@ -359,24 +394,33 @@ func (a *Array) Arith(now, ready sim.Time, op ArithOp, x, y Operand, elem int, i
 	buf := a.PlaneBuffer(home)
 	die := a.dies[a.geo.DieIndex(home)]
 
-	vals := make([][]byte, len(operands))
+	var vals [][]byte
+	if !a.timing {
+		vals = make([][]byte, len(operands))
+	}
 	for i, o := range operands {
 		switch {
-		case o.Data != nil:
-			if len(o.Data) != a.cfg.PageSize {
+		case o.Latched || o.Data != nil:
+			if o.Data != nil && len(o.Data) != a.cfg.PageSize {
 				return 0, fmt.Errorf("nand: latch operand %d is %d bytes", i, len(o.Data))
 			}
-			vals[i] = o.Data
+			if !a.timing {
+				vals[i] = o.Data
+			}
 		case o.InBuffer:
 			if !buf.Valid {
 				return 0, fmt.Errorf("nand: operand %d expects plane buffer, which is empty", i)
 			}
-			vals[i] = buf.Data
+			if !a.timing {
+				vals[i] = buf.Data
+			}
 		default:
 			if !a.IsProgrammed(o.Addr) {
 				return 0, fmt.Errorf("nand: operand %d page %v not programmed", i, o.Addr)
 			}
-			vals[i] = a.raw(o.Addr)
+			if !a.timing {
+				vals[i] = a.raw(o.Addr)
+			}
 		}
 	}
 
@@ -391,6 +435,11 @@ func (a *Array) Arith(now, ready sim.Time, op ArithOp, x, y Operand, elem int, i
 		float64(prof.Senses)*a.cfg.EReadPerChannel+
 			float64(rounds)*a.cfg.ELatchPerKB*float64(a.cfg.PageSize)/1024)
 	_, done := die.Reserve(now, ready, dur)
+	if a.timing {
+		buf.Data = nil
+		buf.Valid = true
+		return done, nil
+	}
 
 	// Functional result, through the monomorphized vecmath kernels.
 	out := make([]byte, a.cfg.PageSize)
@@ -423,7 +472,9 @@ func (a *Array) FlushBuffer(now, ready sim.Time, dst Addr) (sim.Time, error) {
 	}
 	die := a.dies[a.geo.DieIndex(dst)]
 	_, done := die.Reserve(now, ready, a.cfg.TProg)
-	a.data[idx] = append([]byte(nil), buf.Data...)
+	if !a.timing {
+		a.data[idx] = append([]byte(nil), buf.Data...)
+	}
 	a.state[idx] = pageProgrammed
 	a.programs++
 	a.en.Compute("ifp", a.eProg)
@@ -440,6 +491,9 @@ func (a *Array) ReadBuffer(now, ready sim.Time, plane Addr) ([]byte, sim.Time, e
 	_, done := a.bus[plane.Channel].Reserve(now, ready, a.cfg.ChannelTransferTime(a.cfg.PageSize))
 	a.bytesOut += int64(a.cfg.PageSize)
 	a.en.Move("flash-channel", a.cfg.EDMAPerChannel)
+	if a.timing {
+		return nil, done, nil
+	}
 	return append([]byte(nil), buf.Data...), done, nil
 }
 
@@ -471,6 +525,7 @@ func (a *Array) Clone(en *energy.Account) *Array {
 		cfg:            a.cfg,
 		geo:            a.geo,
 		en:             en,
+		timing:         a.timing,
 		data:           make(map[int][]byte, len(a.data)),
 		bitErrors:      make(map[int]int, len(a.bitErrors)),
 		state:          append([]pageState(nil), a.state...),

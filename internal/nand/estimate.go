@@ -54,7 +54,7 @@ func profileOperands(geo Geometry, op BitOp, ops []Operand) (OperandProfile, err
 	var flashAddrs []Addr
 	for _, o := range ops {
 		switch {
-		case o.Data != nil:
+		case o.Latched || o.Data != nil:
 			p.Loads++
 		case o.InBuffer:
 			p.Latched++
@@ -91,7 +91,7 @@ func profileOperands(geo Geometry, op BitOp, ops []Operand) (OperandProfile, err
 // first flash operand, else the first buffer operand's address.
 func homeAddr(ops []Operand) Addr {
 	for _, o := range ops {
-		if o.Data == nil && !o.InBuffer {
+		if !o.Latched && o.Data == nil && !o.InBuffer {
 			return o.Addr
 		}
 	}

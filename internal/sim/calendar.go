@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Calendar models a serial resource — a flash channel bus, a DRAM bank, a
 // controller core, an execution queue — as a "busy until" horizon. Work
@@ -67,6 +70,49 @@ func (c *Calendar) Reserve(now, notBefore, d Time) (start, end Time) {
 	return start, end
 }
 
+// ReserveBatch books n back-to-back reservations of d units each, all
+// arriving at time now under one notBefore constraint, in closed form —
+// the analytic fast-forward for long uncontended kernel stretches (n
+// uniform flash programs into one plane, n identical bbop rounds, ...).
+//
+// It is exactly equivalent to calling Reserve(now, notBefore, d) n times
+// in a loop, by horizon arithmetic: the first reservation slots at
+// slot = max(now, horizon), and every subsequent one arrives at the same
+// now but finds the horizon already at slot+k*d >= now, so the k'th slot
+// is slot+k*d with no interleaving possible — the stretch is uncontended
+// by construction, because nothing else can reserve between the calls.
+// Callers that interleave work on other resources between reservations
+// (cross-resource dependence) must keep stepping reservation by
+// reservation; this fast path is only for uniform single-resource runs.
+// The simtest differential harness and FuzzCalendarReserve hold the
+// closed form and the loop bit-identical.
+//
+// It returns the first reservation's start and the last one's end.
+func (c *Calendar) ReserveBatch(now, notBefore, d Time, n int) (firstStart, lastEnd Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: calendar %s: negative duration %v", c.name, d))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: calendar %s: batch of %d reservations", c.name, n))
+	}
+	slot := now
+	if c.horizon > slot {
+		slot = c.horizon
+	}
+	firstStart = slot
+	if notBefore > firstStart {
+		firstStart = notBefore
+	}
+	lastStart := slot + Time(n-1)*d
+	if notBefore > lastStart {
+		lastStart = notBefore
+	}
+	lastEnd = lastStart + d
+	c.horizon = slot + Time(n)*d
+	c.busy += Time(n) * d
+	return firstStart, lastEnd
+}
+
 // BusyTime reports the cumulative busy time reserved on the resource.
 func (c *Calendar) BusyTime() Time { return c.busy }
 
@@ -96,26 +142,40 @@ func (c *Calendar) Clone() *Calendar {
 	return &cp
 }
 
+// horizonInf pads winner-tree slots that hold no member.
+const horizonInf = Time(math.MaxInt64)
+
 // Group is a pool of identical parallel resources (e.g. the dies behind one
 // channel, the banks of a DRAM rank) with FIFO selection of the earliest
 // available member.
 //
-// The earliest member is cached between reservations: offloading policies
-// read QueueDelay on every instruction, and rescanning a 16-wide group per
-// read is pure waste when nothing was reserved in between. The cache is
-// keyed on the cached member's horizon, which a reservation necessarily
-// advances — so a Reserve (through the group or directly on the cached
-// member) invalidates it, and since horizons only ever grow, a member that
-// was not the minimum can never become it without the cached entry moving
-// first. Resetting an individual member directly (Member(i).Reset())
-// would violate that monotonicity; reset groups with Group.Reset.
+// Selection is indexed, not scanned: a winner tree over member horizons
+// answers Earliest in O(1) when nothing changed and updates in O(log n)
+// per group reservation, replacing the per-instruction min-horizon scan.
+// Ties break to the lowest member index — identical to a full scan —
+// because every comparison prefers the left child, and the left subtree
+// always holds the lower indices.
+//
+// The tree tolerates horizons growing behind its back (a reservation made
+// directly on Member(i), as tests do): alongside each cached winner it
+// stores the horizon that winner had when the node was computed, and any
+// node whose cached winner has since moved is recomputed on touch.
+// Horizons only ever grow, so a node whose cached winner is unmoved is
+// still correct — every other member of its subtree was >= that horizon
+// when the node was computed and cannot have shrunk since. Resetting an
+// individual member directly (Member(i).Reset()) violates exactly that
+// monotonicity; reset groups with Group.Reset.
 type Group struct {
 	name    string
 	members []*Calendar
 
-	minIdx int  // cached index of the earliest member, when minOK
-	minHor Time // that member's horizon at cache time
-	minOK  bool
+	// Winner tree, 1-based: tree[1] is the root. Leaves sit at
+	// [leaf0, leaf0+len(members)); tree holds member indices (-1 for
+	// padding), thor the horizon the slot's winner had when computed.
+	// Groups of one member skip the tree entirely.
+	tree  []int32
+	thor  []Time
+	leaf0 int
 }
 
 // NewGroup creates a pool of n identical calendars.
@@ -127,7 +187,61 @@ func NewGroup(name string, n int) *Group {
 	for i := 0; i < n; i++ {
 		g.members = append(g.members, NewCalendar(fmt.Sprintf("%s[%d]", name, i)))
 	}
+	if n > 1 {
+		leaf0 := 1
+		for leaf0 < n {
+			leaf0 *= 2
+		}
+		g.leaf0 = leaf0
+		g.tree = make([]int32, 2*leaf0)
+		g.thor = make([]Time, 2*leaf0)
+		g.rebuild()
+	}
 	return g
+}
+
+// rebuild recomputes the whole winner tree from current member horizons.
+func (g *Group) rebuild() {
+	for i := range g.members {
+		g.tree[g.leaf0+i] = int32(i)
+		g.thor[g.leaf0+i] = g.members[i].horizon
+	}
+	for i := g.leaf0 + len(g.members); i < 2*g.leaf0; i++ {
+		g.tree[i] = -1
+		g.thor[i] = horizonInf
+	}
+	for v := g.leaf0 - 1; v >= 1; v-- {
+		g.play(v)
+	}
+}
+
+// play recomputes internal node v from its (fresh) children. The left
+// child wins ties, which keeps the lowest index among equal minima.
+func (g *Group) play(v int) {
+	l, r := 2*v, 2*v+1
+	if g.thor[r] < g.thor[l] {
+		g.tree[v], g.thor[v] = g.tree[r], g.thor[r]
+	} else {
+		g.tree[v], g.thor[v] = g.tree[l], g.thor[l]
+	}
+}
+
+// ensure makes node v fresh: its cached winner's current horizon equals
+// the stored one. A stale node is recomputed from its (ensured) children.
+// Fresh nodes return in O(1); the cost of staleness lands on whoever
+// mutated horizons behind the tree's back.
+func (g *Group) ensure(v int) {
+	idx := g.tree[v]
+	if idx < 0 || g.members[idx].horizon == g.thor[v] {
+		return
+	}
+	if v >= g.leaf0 {
+		g.thor[v] = g.members[idx].horizon
+		return
+	}
+	g.ensure(2 * v)
+	g.ensure(2*v + 1)
+	g.play(v)
 }
 
 // Size reports the number of members.
@@ -136,20 +250,21 @@ func (g *Group) Size() int { return len(g.members) }
 // Member returns the i'th member calendar.
 func (g *Group) Member(i int) *Calendar { return g.members[i] }
 
+// earliestIdx returns the index of the member with the smallest horizon
+// (FIFO tie-break: the lowest index among equal minima, identical to a
+// full scan).
+func (g *Group) earliestIdx() int {
+	if len(g.members) == 1 {
+		return 0
+	}
+	g.ensure(1)
+	return int(g.tree[1])
+}
+
 // Earliest returns the member with the smallest horizon (FIFO tie-break:
 // the lowest index among equal minima, identical to a full scan).
 func (g *Group) Earliest() *Calendar {
-	if g.minOK && g.members[g.minIdx].horizon == g.minHor {
-		return g.members[g.minIdx]
-	}
-	best, bestIdx := g.members[0], 0
-	for i, m := range g.members[1:] {
-		if m.horizon < best.horizon {
-			best, bestIdx = m, i+1
-		}
-	}
-	g.minIdx, g.minHor, g.minOK = bestIdx, best.horizon, true
-	return best
+	return g.members[g.earliestIdx()]
 }
 
 // QueueDelay reports the queueing delay of the least-loaded member.
@@ -159,7 +274,22 @@ func (g *Group) QueueDelay(now Time) Time {
 
 // Reserve books d units of work on the least-loaded member.
 func (g *Group) Reserve(now, notBefore, d Time) (start, end Time) {
-	return g.Earliest().Reserve(now, notBefore, d)
+	idx := g.earliestIdx()
+	start, end = g.members[idx].Reserve(now, notBefore, d)
+	if len(g.members) > 1 {
+		// Replay the reserved leaf's path to the root: O(log n). Sibling
+		// subtrees are ensured in passing, so horizons grown behind the
+		// tree's back are folded in before they can be compared stale.
+		v := g.leaf0 + idx
+		g.thor[v] = g.members[idx].horizon
+		for v > 1 {
+			v /= 2
+			g.ensure(2 * v)
+			g.ensure(2*v + 1)
+			g.play(v)
+		}
+	}
+	return start, end
 }
 
 // Utilization reports the mean utilization across members.
@@ -171,21 +301,26 @@ func (g *Group) Utilization(now Time) float64 {
 	return sum / float64(len(g.members))
 }
 
-// Reset clears every member and the earliest-member cache.
+// Reset clears every member and rebuilds the selection tree.
 func (g *Group) Reset() {
 	for _, m := range g.members {
 		m.Reset()
 	}
-	g.minOK = false
+	if len(g.members) > 1 {
+		g.rebuild()
+	}
 }
 
-// Clone returns an independent copy of the group and all its members. The
-// cache carries over: the clone's members have identical horizons.
+// Clone returns an independent copy of the group and all its members,
+// winner tree included: the clone selects exactly as the original would.
 func (g *Group) Clone() *Group {
-	ng := &Group{name: g.name, members: make([]*Calendar, len(g.members)),
-		minIdx: g.minIdx, minHor: g.minHor, minOK: g.minOK}
+	ng := &Group{name: g.name, members: make([]*Calendar, len(g.members)), leaf0: g.leaf0}
 	for i, m := range g.members {
 		ng.members[i] = m.Clone()
+	}
+	if g.tree != nil {
+		ng.tree = append([]int32(nil), g.tree...)
+		ng.thor = append([]Time(nil), g.thor...)
 	}
 	return ng
 }

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is one scheduled callback of the reference engine.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// HeapEngine is the reference discrete-event simulator: a binary heap of
+// individually sequenced events, popped one at a time. It is the original
+// engine implementation, kept verbatim as the differential oracle for the
+// fast coalescing Engine — every behavioral question about the fast path
+// ("what would the old engine have done?") is answered by running this
+// one. See Oracle for the equivalence contract and internal/sim/simtest
+// for the harness that enforces it.
+//
+// The zero value is not usable; call NewHeapEngine.
+type HeapEngine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	steps  uint64
+}
+
+// NewHeapEngine returns a reference engine with the clock at zero and no
+// pending events.
+func NewHeapEngine() *HeapEngine {
+	return &HeapEngine{}
+}
+
+// Now reports the current simulated time.
+func (e *HeapEngine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *HeapEngine) Pending() int { return len(e.events) }
+
+// Steps reports the number of events executed so far.
+func (e *HeapEngine) Steps() uint64 { return e.steps }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a modelling bug, never a recoverable condition.
+func (e *HeapEngine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d nanoseconds from now. Negative d panics.
+func (e *HeapEngine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *HeapEngine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *HeapEngine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t stay pending.
+func (e *HeapEngine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Advance moves the clock forward by d without executing events. It is used
+// by sequential firmware models (e.g. the offloader loop) that consume time
+// outside the event queue. Pending events timestamped inside the skipped
+// window are still executed in order.
+func (e *HeapEngine) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative advance %v", d))
+	}
+	e.RunUntil(e.now + d)
+}

@@ -1,0 +1,50 @@
+package sim
+
+// Oracle is the discrete-event simulator contract. Two implementations
+// exist and are required to be observationally identical:
+//
+//   - Engine, the fast path: a coalescing bucketed event queue that
+//     batches same-timestamp completions into one calendar entry and
+//     drains them as a unit.
+//   - HeapEngine, the reference: the original binary-heap engine with an
+//     explicit per-event FIFO sequence number.
+//
+// "Observationally identical" means: for any interleaving of Schedule,
+// After, Step, Run, RunUntil, and Advance calls (including events that
+// schedule further events from inside their callbacks), both
+// implementations execute the same callbacks in the same order at the
+// same clock readings, and report the same Now, Pending, and Steps at
+// every point in between. The differential harness in
+// internal/sim/simtest drives both through randomized schedules,
+// recorded real-workload reservation traces, and adversarial
+// same-timestamp storms to enforce exactly that; every engine test is
+// written against Oracle so it runs on both paths.
+type Oracle interface {
+	// Now reports the current simulated time.
+	Now() Time
+	// Pending reports the number of scheduled events not yet executed.
+	Pending() int
+	// Steps reports the number of events executed so far.
+	Steps() uint64
+	// Schedule runs fn at absolute time at; scheduling in the past panics.
+	Schedule(at Time, fn func())
+	// After runs fn d nanoseconds from now; negative d panics.
+	After(d Time, fn func())
+	// Step executes the single earliest pending event (FIFO among equal
+	// timestamps), advancing the clock to its timestamp. It reports
+	// whether an event was executed.
+	Step() bool
+	// Run executes events until none remain.
+	Run()
+	// RunUntil executes events with timestamps <= t, then advances the
+	// clock to exactly t.
+	RunUntil(t Time)
+	// Advance moves the clock forward by d, executing events timestamped
+	// inside the window in order. Negative d panics.
+	Advance(d Time)
+}
+
+var (
+	_ Oracle = (*Engine)(nil)
+	_ Oracle = (*HeapEngine)(nil)
+)

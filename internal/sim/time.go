@@ -1,0 +1,35 @@
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, in nanoseconds.
+//
+// Nanosecond granularity covers the full dynamic range of the simulated
+// device: the fastest modeled operation is a 20 ns in-flash AND and the
+// slowest is a 3.5 ms block erase.
+type Time int64
+
+// Common durations, as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time with an adaptive unit, e.g. "22.5µs".
+func (t Time) String() string {
+	switch {
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }

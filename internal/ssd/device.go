@@ -419,6 +419,9 @@ func operandGroups(prog *isa.Program, inputOrder []isa.PageID, inputSet map[isa.
 // page p without timing effects — the verification hook tests use to
 // compare against the reference interpreter.
 func (d *Device) PageBytes(p isa.PageID) ([]byte, error) {
+	if d.Cfg.SSD.TimingOnly {
+		return nil, fmt.Errorf("ssd: page contents unavailable in timing-only mode; use a reference (functional) device")
+	}
 	if d.Dir == nil {
 		return nil, fmt.Errorf("ssd: no program loaded")
 	}

@@ -339,7 +339,7 @@ func (d *Device) executeIFP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 			if ldone > ready {
 				ready = ldone
 			}
-			operands = append(operands, nand.Operand{Addr: planeAddr, Data: data})
+			operands = append(operands, nand.Operand{Addr: planeAddr, Data: data, Latched: true})
 			continue
 		}
 		if owner == coherence.LocBuffer {
@@ -380,7 +380,7 @@ func (d *Device) executeIFP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 			if ldone > ready {
 				ready = ldone
 			}
-			operands = append(operands, nand.Operand{Addr: planeAddr, Data: data})
+			operands = append(operands, nand.Operand{Addr: planeAddr, Data: data, Latched: true})
 			continue
 		}
 		// DRAM-resident: stream over the DRAM bus and latch-load.
@@ -393,7 +393,7 @@ func (d *Device) executeIFP(inst *isa.Inst, issue, ready sim.Time) (sim.Time, er
 		if ldone > ready {
 			ready = ldone
 		}
-		operands = append(operands, nand.Operand{Addr: planeAddr, Data: data})
+		operands = append(operands, nand.Operand{Addr: planeAddr, Data: data, Latched: true})
 	}
 
 	// The target plane's buffer may hold another live page (that is not

@@ -21,6 +21,9 @@ import (
 //
 // The run is functional (results are computed for verification) and
 // returns the final contents of every page alongside the timing result.
+// In timing-only mode the functional pass is elided and the page map is
+// nil; timing, decisions, and energy are unchanged because idealChoice
+// and idealComputeEnergy never look at payloads.
 func (d *Device) RunIdeal() (*Result, map[isa.PageID][]byte, error) {
 	if d.prog == nil {
 		return nil, nil, fmt.Errorf("ssd: no program loaded")
@@ -28,9 +31,13 @@ func (d *Device) RunIdeal() (*Result, map[isa.PageID][]byte, error) {
 	cfg := &d.Cfg.SSD
 	// Page buffers are run-local (flash contents are copied in), so a
 	// payload replaced by a later write to the same page is dead and goes
-	// back to the pool.
-	pool := arena.New(cfg.PageSize)
-	mem := make(map[isa.PageID][]byte, d.prog.Pages)
+	// back to the pool. None of this exists in timing-only mode.
+	var pool *arena.Pool
+	var mem map[isa.PageID][]byte
+	if !cfg.TimingOnly {
+		pool = arena.New(cfg.PageSize)
+		mem = make(map[isa.PageID][]byte, d.prog.Pages)
+	}
 	load := func(p isa.PageID) []byte {
 		if b, ok := mem[p]; ok {
 			return b
@@ -68,19 +75,21 @@ func (d *Device) RunIdeal() (*Result, map[isa.PageID][]byte, error) {
 		computeEnergy += d.idealComputeEnergy(inst, choice)
 		done := start + comp
 		if inst.Dst != isa.NoPage {
-			// Functional execution via the shared kernels.
-			srcs = srcs[:0]
-			for _, s := range inst.Srcs {
-				srcs = append(srcs, load(s))
+			if !cfg.TimingOnly {
+				// Functional execution via the shared kernels.
+				srcs = srcs[:0]
+				for _, s := range inst.Srcs {
+					srcs = append(srcs, load(s))
+				}
+				out := pool.Get() // fully overwritten by Apply
+				if err := cores.Apply(inst.Op, out, srcs, inst.Elem, inst.UseImm, inst.Imm); err != nil {
+					return nil, nil, fmt.Errorf("ssd: ideal inst %d: %w", i, err)
+				}
+				if old, ok := mem[inst.Dst]; ok {
+					pool.Put(old) // replaced value is dead (reads above are done)
+				}
+				mem[inst.Dst] = out
 			}
-			out := pool.Get() // fully overwritten by Apply
-			if err := cores.Apply(inst.Op, out, srcs, inst.Elem, inst.UseImm, inst.Imm); err != nil {
-				return nil, nil, fmt.Errorf("ssd: ideal inst %d: %w", i, err)
-			}
-			if old, ok := mem[inst.Dst]; ok {
-				pool.Put(old) // replaced value is dead (reads above are done)
-			}
-			mem[inst.Dst] = out
 			ready[inst.Dst] = done
 		}
 		decisions = append(decisions, Decision{

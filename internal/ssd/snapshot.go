@@ -23,6 +23,11 @@ import (
 // compiler's liveness metadata, none of which Run mutates — so the clone
 // and the original may be driven concurrently from different goroutines.
 // The Device itself is still single-goroutine: clone once per worker.
+// Freeze marks the device's large mutable tables copy-on-write (see
+// ftl.FTL.Freeze): subsequent Clones alias them and pay only for what
+// they write. Call it once on a pristine post-deploy master.
+func (d *Device) Freeze() { d.FTL.Freeze() }
+
 func (d *Device) Clone() *Device {
 	en := d.En.Clone()
 	arr := d.Flash.Clone(en)

@@ -3,7 +3,7 @@
 #
 # Runs the kernel microbenchmarks, the macro benchmarks (including the
 # open-loop serving path), and writes the machine-readable record the
-# repo commits per PR (BENCH_pr5.json for this one). Usage:
+# repo commits per PR (BENCH_pr7.json for this one). Usage:
 #
 #   scripts/bench.sh [out.json]
 #
@@ -13,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_pr5.json}"
+out="${1:-BENCH_pr7.json}"
 scale="${SCALE:-2}"
 benchtime="${BENCHTIME:-5x}"
 
@@ -23,6 +23,10 @@ go run ./cmd/experiments -benchjson "$out" -scale "$scale"
 echo
 echo "== kernel microbenchmarks (specialized vs generic reference)"
 go test -run '^$' -bench 'BenchmarkVecmathKernels' -benchmem ./internal/vecmath
+
+echo
+echo "== simulation-engine microbenchmarks (bucket vs heap oracle, fast-forward)"
+go test -run '^$' -bench 'BenchmarkEngineScheduleDrain|BenchmarkCalendarFastForward' -benchmem ./internal/sim
 
 echo
 echo "== macro benchmarks"
