@@ -129,14 +129,27 @@ func (cl *Cluster) Plan() ClusterPlan {
 	}
 }
 
-// Run executes the deployed program under the named policy on every shard
-// concurrently — each sub-run on its own pooled fork — and gathers the
-// partial results through the deterministic merge. The returned error is
-// the first failing shard's, in shard order. Safe for concurrent use.
-func (cl *Cluster) Run(policy string) (*RunResult, error) {
-	if !KnownPolicy(policy) {
-		return nil, errUnknownPolicy(policy)
-	}
+// guardShardRun executes one shard's sub-run with panic containment:
+// a panicking shard surfaces as a `shard %d panicked` error on that
+// shard — matching the serve engine's backend containment contract —
+// instead of killing the process. Containment matters doubly for the
+// concurrent scatter path, where the panic fires on a scatter goroutine
+// that no caller-side recover could ever reach.
+func guardShardRun(i int, run func() (*RunResult, error)) (r *RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, fmt.Errorf("shard %d panicked: %v", i, p)
+		}
+	}()
+	return run()
+}
+
+// runShards scatters run across the shards concurrently — one goroutine
+// per shard, each with panic containment — and gathers the partial
+// results through the deterministic merge. The returned error is the
+// first failing shard's, in shard order. It is the shared scatter-gather
+// engine behind Run and the fault-tolerant dispatch path.
+func (cl *Cluster) runShards(run func(i int, dep *Deployment) (*RunResult, error)) (*RunResult, error) {
 	parts := make([]*RunResult, len(cl.deps))
 	errs := make([]error, len(cl.deps))
 	var wg sync.WaitGroup
@@ -144,7 +157,9 @@ func (cl *Cluster) Run(policy string) (*RunResult, error) {
 		wg.Add(1)
 		go func(i int, dep *Deployment) {
 			defer wg.Done()
-			parts[i], errs[i] = dep.Run(policy)
+			parts[i], errs[i] = guardShardRun(i, func() (*RunResult, error) {
+				return run(i, dep)
+			})
 		}(i, dep)
 	}
 	wg.Wait()
@@ -156,18 +171,33 @@ func (cl *Cluster) Run(policy string) (*RunResult, error) {
 	return cl.merge(parts), nil
 }
 
+// Run executes the deployed program under the named policy on every shard
+// concurrently — each sub-run on its own pooled fork — and gathers the
+// partial results through the deterministic merge. The returned error is
+// the first failing shard's, in shard order; a panicking shard run is
+// contained into such an error rather than crashing the process. Safe
+// for concurrent use.
+func (cl *Cluster) Run(policy string) (*RunResult, error) {
+	if !KnownPolicy(policy) {
+		return nil, errUnknownPolicy(policy)
+	}
+	return cl.runShards(func(i int, dep *Deployment) (*RunResult, error) {
+		return dep.Run(policy)
+	})
+}
+
 // RunSerial executes the shards one by one in shard order and merges
 // identically to Run. It exists as the executable half of the determinism
 // proof: concurrent scatter-gather must be byte-identical to this serial
 // loop (enforced by tests), which is what licenses running shards in
-// parallel at all.
+// parallel at all. Panic containment matches Run's.
 func (cl *Cluster) RunSerial(policy string) (*RunResult, error) {
 	if !KnownPolicy(policy) {
 		return nil, errUnknownPolicy(policy)
 	}
 	parts := make([]*RunResult, len(cl.deps))
 	for i, dep := range cl.deps {
-		r, err := dep.Run(policy)
+		r, err := guardShardRun(i, func() (*RunResult, error) { return dep.Run(policy) })
 		if err != nil {
 			return nil, fmt.Errorf("conduit: shard %d/%d: %w", i, len(cl.deps), err)
 		}
@@ -260,7 +290,8 @@ func (cl *Cluster) PoolStats() []PoolStats {
 }
 
 // Close closes every shard's prefork pool, if any. After Close returns no
-// fork is buffered on any shard; later runs clone inline.
+// fork is buffered on any shard; later device-policy runs on pooled
+// shards fail with ErrPoolClosed.
 func (cl *Cluster) Close() {
 	for _, dep := range cl.deps {
 		dep.Close()

@@ -31,6 +31,17 @@
 // pooled clones, and the pool report shows one "workload#shard" row per
 // device.
 //
+// With -faults RATE > 0 the server injects deterministic seeded faults
+// (seed -faultseed) at the dispatch, pool, and device seams — the same
+// rate mapping as the availability experiment — and serves through them
+// with the recovery stack: -retries attempts per shard with simulated
+// backoff, -hedge duplicate dispatch against stragglers, per-shard
+// circuit breakers (-breaker N consecutive failures) degrading to the
+// -fallback policy. -faultlog records the injected schedule as JSONL;
+// -faultreplay re-injects a recorded schedule instead of drawing fresh.
+// The run ends with a fault/recovery report, breaker states, and pool
+// quarantine counts.
+//
 // Usage:
 //
 //	conduit-serve -clients 32 -duration 2s
@@ -38,6 +49,7 @@
 //	conduit-serve -open 800 -arrival burst -duration 2s -record burst.jsonl
 //	conduit-serve -replay burst.jsonl -speed 2
 //	conduit-serve -clients 32 -duration 2s -shards 4
+//	conduit-serve -open 300 -duration 2s -shards 2 -faults 0.05 -hedge -breaker 4 -fallback CPU
 //	conduit-serve -list
 package main
 
@@ -79,6 +91,15 @@ func main() {
 	record := flag.String("record", "", "write the issued request stream as a JSONL trace to `file`")
 	replay := flag.String("replay", "", "re-issue the JSONL trace in `file` instead of generating load")
 	speed := flag.Float64("speed", 1, "replay time scale (2 = twice as fast as recorded)")
+	faults := flag.Float64("faults", 0, "master injected-fault rate, mapped onto the dispatch/pool/device seams (0 disables chaos)")
+	faultseed := flag.Uint64("faultseed", 42, "chaos RNG seed (independent of -seed)")
+	retries := flag.Int("retries", 3, "max attempts per shard sub-run when recovery is active")
+	hedge := flag.Bool("hedge", false, "hedge straggler shards with a duplicate dispatch")
+	hedgethreshold := flag.Float64("hedgethreshold", 8, "straggler multiple (vs the fastest shard) that triggers a hedge")
+	breaker := flag.Int("breaker", 0, "circuit-breaker consecutive-failure threshold per shard (0 disables)")
+	fallback := flag.String("fallback", "", "policy served while a breaker is open (empty refuses with an error)")
+	faultlog := flag.String("faultlog", "", "write the injected-fault schedule as a JSONL record to `file`")
+	faultreplay := flag.String("faultreplay", "", "replay the recorded fault schedule in `file` instead of drawing from -faults")
 	list := flag.Bool("list", false, "list workloads and policies, then exit")
 	flag.Parse()
 
@@ -163,13 +184,40 @@ func main() {
 		}
 	}
 
-	srv := conduit.NewServer(conduit.DefaultConfig(), conduit.ServeOptions{
+	opts := conduit.ServeOptions{
 		Concurrency: *concurrency,
 		QueueDepth:  *queue,
 		Prefork:     *prefork,
 		Coalesce:    *coalesce,
 		Memoize:     *memoize,
-	})
+	}
+	chaos := *faults > 0 || *faultreplay != ""
+	if chaos {
+		opts.Recovery = conduit.RecoveryOptions{
+			MaxAttempts:      *retries,
+			Hedge:            *hedge,
+			HedgeThreshold:   *hedgethreshold,
+			BreakerThreshold: *breaker,
+			FallbackPolicy:   *fallback,
+		}
+		if *fallback != "" && !conduit.KnownPolicy(*fallback) {
+			fmt.Fprintf(os.Stderr, "conduit-serve: unknown -fallback policy %q (try -list)\n", *fallback)
+			os.Exit(2)
+		}
+	}
+	switch {
+	case *faultreplay != "":
+		rf, err := conduit.ReadFaultLog(*faultreplay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-serve: faultreplay: %v\n", err)
+			os.Exit(2)
+		}
+		opts.ReplayFaults = rf
+	case *faults > 0:
+		cfg := conduit.FaultsAtRate(*faults, 0, *faultseed)
+		opts.Faults = &cfg
+	}
+	srv := conduit.NewServer(conduit.DefaultConfig(), opts)
 	fmt.Printf("registering %d workload(s) at scale %d across %d shard(s) each ...\n",
 		len(chosen), *scale, *shards)
 	deployStart := time.Now()
@@ -246,10 +294,10 @@ func main() {
 	}
 	sort.Strings(poolNames)
 	pt := stats.NewTable("device pools (pre-forked Deployment clones)",
-		"application", "preforked", "pool_hits", "inline_clones", "idle")
+		"application", "preforked", "pool_hits", "inline_clones", "idle", "quarantined", "repairs")
 	for _, name := range poolNames {
 		ps := pools[name]
-		pt.AddRowf(name, ps.Preforked, ps.Hits, ps.Misses, ps.Idle)
+		pt.AddRowf(name, ps.Preforked, ps.Hits, ps.Misses, ps.Idle, ps.Quarantined, ps.Repairs)
 	}
 	if len(poolNames) > 0 {
 		pt.Render(os.Stdout)
@@ -257,6 +305,46 @@ func main() {
 	}
 
 	total := srv.Total()
+	if chaos {
+		log := srv.FaultLog()
+		kinds := make(map[conduit.FaultKind]int)
+		for _, f := range log {
+			kinds[f.Kind]++
+		}
+		kindNames := make([]string, 0, len(kinds))
+		for k := range kinds {
+			kindNames = append(kindNames, string(k))
+		}
+		sort.Strings(kindNames)
+		ft := stats.NewTable("fault injection & recovery", "metric", "value")
+		ft.AddRowf("faults_injected", len(log))
+		for _, k := range kindNames {
+			ft.AddRowf("injected_"+k, kinds[conduit.FaultKind(k)])
+		}
+		ft.AddRowf("attempts", total.Recovery.Attempts)
+		ft.AddRowf("retries", total.Recovery.Retries)
+		ft.AddRowf("hedges", total.Recovery.Hedges)
+		ft.AddRowf("hedge_wins", total.Recovery.HedgeWins)
+		ft.AddRowf("fallbacks", total.Recovery.Fallbacks)
+		ft.AddRowf("backoff_sim_ms", float64(total.Recovery.BackoffSim)/1e6)
+		ft.Render(os.Stdout)
+		fmt.Println()
+		if brk := srv.Breakers(); len(brk) > 0 {
+			bt := stats.NewTable("circuit breakers", "breaker", "state", "trips")
+			for _, b := range brk {
+				bt.AddRowf(b.Name, b.State.String(), b.Trips)
+			}
+			bt.Render(os.Stdout)
+			fmt.Println()
+		}
+		if *faultlog != "" {
+			if err := conduit.WriteFaultLog(*faultlog, log); err != nil {
+				fmt.Fprintf(os.Stderr, "conduit-serve: faultlog: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded %d-fault schedule -> %s\n\n", len(log), *faultlog)
+		}
+	}
 	st := stats.NewTable("load summary", "metric", "value")
 	st.AddRowf("wall_time", elapsed.Round(time.Millisecond).String())
 	st.AddRowf("requests_offered", tally.offered)
@@ -268,7 +356,9 @@ func main() {
 	st.AddRowf("goodput_req_per_s", float64(total.Attained)/elapsed.Seconds())
 	st.AddRowf("slo_attainment_pct", fmt.Sprintf("%.1f", 100*total.Attainment()))
 	st.Render(os.Stdout)
-	if tally.failed > 0 {
+	// Under chaos, exhausted-recovery failures are the experiment working
+	// as designed; only fault-free runs treat backend errors as fatal.
+	if tally.failed > 0 && !chaos {
 		os.Exit(1)
 	}
 }

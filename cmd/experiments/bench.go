@@ -26,7 +26,7 @@ type benchResult struct {
 // benchFile is the schema of BENCH_*.json: a point-in-time record of the
 // data-plane and serving benchmarks, with the derived ratios the
 // acceptance bars refer to. scripts/bench.sh regenerates it
-// (BENCH_pr7.json is the committed record for this PR).
+// (BENCH_pr8.json is the committed record for this PR).
 type benchFile struct {
 	Schema  string            `json:"schema"`
 	Scale   int               `json:"scale"`
@@ -51,7 +51,7 @@ func record(name string, r testing.BenchmarkResult, bytesProcessed int64) benchR
 
 // runBenchJSON executes the perf-trajectory benchmark set and writes the
 // JSON record to path. It is the programmatic twin of
-// `go test -bench 'VecmathKernels|Fig4|DeviceRunHot|ClusterScatterGather|ServeOpenLoop' -benchmem`.
+// `go test -bench 'VecmathKernels|Fig4|DeviceRunHot|ClusterScatterGather|ServeOpenLoop|ServeFaultFree' -benchmem`.
 func runBenchJSON(path string, scale int) error {
 	const page = 16 << 10
 	a := make([]byte, page)
@@ -218,6 +218,52 @@ func runBenchJSON(path string, scale int) error {
 	out = append(out, openLoop)
 	srv.Drain()
 
+	// The same open-loop stream through the fault-tolerant dispatch path
+	// at zero injection rate: every request draws from the injector and
+	// consults the recovery machinery, and the derived entry records what
+	// that costs when nothing ever fails (the zero-overhead contract).
+	zeroFaults := conduit.FaultConfig{Seed: 7} // all rates zero
+	fsrv := conduit.NewServer(cfg, conduit.ServeOptions{
+		Concurrency: 2, QueueDepth: 2 * 4096, Prefork: 2,
+		Faults: &zeroFaults,
+		Recovery: conduit.RecoveryOptions{
+			MaxAttempts:      3,
+			Hedge:            true,
+			HedgeThreshold:   8,
+			BreakerThreshold: 4,
+			FallbackPolicy:   "CPU",
+		},
+	})
+	if err := fsrv.Register(aes.Name, aes.Source); err != nil {
+		return err
+	}
+	faultFree := record("serve/fault-free-submit", testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		chans := make([]<-chan *conduit.Response, 0, 4096)
+		for submitted := 0; submitted < bb.N; {
+			n := 4096
+			if rest := bb.N - submitted; rest < n {
+				n = rest
+			}
+			chans = chans[:0]
+			for i := 0; i < n; i++ {
+				ch, err := fsrv.Submit(conduit.Request{Tenant: "bench", Workload: aes.Name, Policy: "Conduit"})
+				if err != nil {
+					bb.Fatal(err)
+				}
+				chans = append(chans, ch)
+			}
+			for _, ch := range chans {
+				if resp := <-ch; resp.Err != nil {
+					bb.Fatal(resp.Err)
+				}
+			}
+			submitted += n
+		}
+	}), 0)
+	out = append(out, faultFree)
+	fsrv.Drain()
+
 	f := benchFile{
 		Schema:  "conduit-bench/v1",
 		Scale:   scale,
@@ -230,6 +276,7 @@ func runBenchJSON(path string, scale int) error {
 			"calendar_fastforward_speedup_vs_loop":   fmt.Sprintf("%.0fx", ffLoop.NsPerOp/ffBatch.NsPerOp),
 			"cluster_simulated_speedup_4shard":       fmt.Sprintf("%.2fx", float64(oneDev.Elapsed)/float64(fourDev.Elapsed)),
 			"open_loop_served_req_per_s":             fmt.Sprintf("%.0f", 1e9/openLoop.NsPerOp),
+			"fault_free_overhead_pct":                fmt.Sprintf("%.1f%%", (faultFree.NsPerOp/openLoop.NsPerOp-1)*100),
 		},
 	}
 	data, err := json.MarshalIndent(f, "", "  ")

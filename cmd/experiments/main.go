@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|scaling|latency|all]
+//	experiments [-scale N] [-workers N] [-fig10window N] [fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|grid|table3|overhead|ablation|scaling|latency|availability|all]
 //	experiments -benchjson BENCH_pr5.json [-scale N]
 //
 // Shared workload x policy sweeps execute concurrently across -workers
@@ -24,6 +24,16 @@
 // p50/p99/p999 wall-clock latency; combine with -csv for the
 // throughput-latency curve as data (LATENCY_pr5.csv is a committed
 // example).
+//
+// The availability experiment injects deterministic seeded faults at the
+// dispatch, pool, and device seams of a sharded deployment and sweeps
+// fault rate (-faultrates) against a ladder of recovery configurations
+// (none, retry, retry+hedge, retry+hedge+breaker), reporting request
+// success rate, SLO attainment in simulated time, and retry
+// amplification per cell (-availreq requests each); combine with -csv
+// for the sweep as data (AVAIL_pr8.csv is a committed example). Unlike
+// the latency experiment it runs entirely in simulated time, so its
+// table is byte-identical run to run.
 //
 // -benchjson runs the data-plane perf-trajectory benchmarks (kernel
 // microbenches vs the generic reference, a Fig. 4 regeneration, and a
@@ -56,15 +66,18 @@ func main() {
 	arrival := flag.String("arrival", "poisson", "latency-experiment arrival process: poisson, burst, diurnal")
 	slo := flag.Duration("slo", 50*time.Millisecond, "latency-experiment per-request deadline (0 disables)")
 	loaddur := flag.Duration("loaddur", 300*time.Millisecond, "latency-experiment schedule span per point")
+	faultrates := flag.String("faultrates", "0,0.02,0.05,0.1", "master fault rates the availability experiment sweeps")
+	availreq := flag.Int("availreq", 200, "requests per availability cell")
 	benchjson := flag.String("benchjson", "", "run the perf-trajectory benchmarks and write the JSON record to `file`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	flag.Parse()
 
 	lat := latencyFlags{loads: *loads, policies: *lpolicies, arrival: *arrival, slo: *slo, dur: *loaddur}
+	av := availFlags{rates: *faultrates, requests: *availreq}
 	// All work happens in run so its defers — in particular stopping the
 	// CPU profile and writing the heap profile — execute before os.Exit.
-	os.Exit(run(*scale, *window, *shards, *csv, *workers, lat, *benchjson, *cpuprofile, *memprofile))
+	os.Exit(run(*scale, *window, *shards, *csv, *workers, lat, av, *benchjson, *cpuprofile, *memprofile))
 }
 
 // latencyFlags carries the latency experiment's knobs into run.
@@ -105,7 +118,25 @@ func (f latencyFlags) options(maxShards int) (conduit.LatencyOptions, error) {
 	}, nil
 }
 
-func run(scale, window, shards int, csv bool, workers int, lat latencyFlags, benchjson, cpuprofile, memprofile string) int {
+// availFlags carries the availability experiment's knobs into run.
+type availFlags struct {
+	rates    string
+	requests int
+}
+
+func (f availFlags) options() (conduit.AvailabilityOptions, error) {
+	var rates []float64
+	for _, s := range strings.Split(f.rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v < 0 {
+			return conduit.AvailabilityOptions{}, fmt.Errorf("bad -faultrates entry %q", s)
+		}
+		rates = append(rates, v)
+	}
+	return conduit.AvailabilityOptions{FaultRates: rates, Requests: f.requests}, nil
+}
+
+func run(scale, window, shards int, csv bool, workers int, lat latencyFlags, av availFlags, benchjson, cpuprofile, memprofile string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -178,13 +209,22 @@ func run(scale, window, shards int, csv bool, workers int, lat latencyFlags, ben
 			}
 			return e.LatencyCurve(opts)
 		}},
+		{"availability", func() (*conduit.Table, error) {
+			opts, err := av.options()
+			if err != nil {
+				return nil, err
+			}
+			return e.Availability(opts)
+		}},
 	}
 	ran := false
 	for _, x := range exps {
-		// "all" skips the latency sweep: it measures wall-clock serving
+		// "all" skips the latency sweep (it measures wall-clock serving
 		// behavior, so including it would break "all"'s byte-identical
-		// output contract. Request it by name.
-		if which != x.name && (which != "all" || x.name == "latency") {
+		// output contract) and the availability sweep (deterministic, but
+		// a robustness artifact, not a paper figure). Request them by
+		// name.
+		if which != x.name && (which != "all" || x.name == "latency" || x.name == "availability") {
 			continue
 		}
 		ran = true

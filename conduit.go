@@ -443,17 +443,18 @@ func (d *Deployment) Compiled() *Compiled { return d.c }
 // Fork returns a fresh device restored to the post-deploy state. The
 // caller owns the returned device exclusively; the pristine master is
 // never handed out. With a prefork pool attached (Prefork), the fork is
-// served from the pool's buffer of ready clones; otherwise — and whenever
-// the buffer is empty — it is cloned inline. Either way the device is
-// byte-identical.
-func (d *Deployment) Fork() *ssd.Device {
+// served from the pool's buffer of ready clones; on an empty buffer it
+// is cloned inline. Either way the device is byte-identical. Once the
+// pool has been closed (the deployment was drained) Fork fails with
+// ErrPoolClosed instead of silently cloning.
+func (d *Deployment) Fork() (*ssd.Device, error) {
 	d.poolMu.Lock()
 	p := d.pool
 	d.poolMu.Unlock()
 	if p != nil {
 		return p.Get()
 	}
-	return d.master.Clone()
+	return d.master.Clone(), nil
 }
 
 // Run executes the deployed program under the named policy on a restored
@@ -464,13 +465,21 @@ func (d *Deployment) Run(policy string) (*RunResult, error) {
 	case "CPU", "GPU":
 		return d.sys.runHost(d.c, policy)
 	case "Ideal":
-		return runIdealOn(d.Fork())
+		dev, err := d.Fork()
+		if err != nil {
+			return nil, err
+		}
+		return runIdealOn(dev)
 	default:
 		// Reject unknown policies before paying for the device clone.
 		if devicePolicy(policy) == nil {
 			return nil, errUnknownPolicy(policy)
 		}
-		return runPolicyOn(d.Fork(), policy)
+		dev, err := d.Fork()
+		if err != nil {
+			return nil, err
+		}
+		return runPolicyOn(dev, policy)
 	}
 }
 

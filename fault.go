@@ -1,0 +1,368 @@
+package conduit
+
+import (
+	"errors"
+	"fmt"
+
+	"conduit/internal/cluster"
+	"conduit/internal/faultinject"
+	"conduit/internal/serve"
+	"conduit/internal/sim"
+)
+
+// Fault-injection building blocks, re-exported like the compiler types.
+type (
+	// FaultConfig sets the per-seam injection rates and the chaos seed
+	// (internal/faultinject). The zero value injects nothing.
+	FaultConfig = faultinject.Config
+	// Fault is one recorded injected fault; slices of them round-trip
+	// through JSONL (WriteFaultLog/ReadFaultLog) for record/replay.
+	Fault = faultinject.Fault
+	// FaultKind names what a recorded fault did (Fault.Kind).
+	FaultKind = faultinject.Kind
+	// Recovery is the per-request fault-recovery accounting the serving
+	// layer aggregates per tenant (attempts, retries, hedges, fallbacks,
+	// simulated backoff time).
+	Recovery = serve.Recovery
+	// BreakerStatus is one circuit breaker's snapshot (Server.Breakers).
+	BreakerStatus = faultinject.BreakerStatus
+)
+
+// WriteFaultLog and ReadFaultLog round-trip a recorded fault schedule
+// through JSONL, one fault per line (see internal/faultinject).
+var (
+	WriteFaultLog = faultinject.WriteFile
+	ReadFaultLog  = faultinject.ReadFile
+)
+
+// FaultsAtRate maps one master fault rate onto the per-seam injection
+// rates the availability experiment and conduit-serve -faults share:
+// shard failures and slow shards at rate, fork failures and poisoned
+// forks at rate/2, dispatch backend errors at rate/4 — device faults
+// dominate, matching a storage-centric failure model. slowFactor <= 1
+// selects the injector's default latency multiplier.
+func FaultsAtRate(rate, slowFactor float64, seed uint64) FaultConfig {
+	return FaultConfig{
+		Seed:         seed,
+		ShardFail:    rate,
+		SlowShard:    rate,
+		SlowFactor:   slowFactor,
+		ForkFail:     rate / 2,
+		PoisonFork:   rate / 2,
+		BackendError: rate / 4,
+	}
+}
+
+// ErrInjected marks errors manufactured by the fault-injection layer;
+// match with errors.Is to tell injected chaos from organic failures.
+var ErrInjected = errors.New("injected fault")
+
+// ErrCircuitOpen is returned when a shard's circuit breaker is open and
+// no fallback policy is configured to degrade to.
+var ErrCircuitOpen = errors.New("circuit breaker open")
+
+// RecoveryOptions tunes the fault-tolerant dispatch path: retries with
+// capped deterministic backoff, hedged duplicate dispatch against
+// straggler shards, per-(workload, shard) circuit breakers, and graceful
+// degradation to a fallback policy. The zero value performs a single
+// attempt with no recovery machinery, byte-identical to plain dispatch.
+//
+// All recovery costs are charged to simulated time: backoff between
+// retries, the burnt simulated time of failed attempts, and the
+// degraded-but-discarded time of slow shards all land on the request's
+// RunResult.Elapsed, never on the wall clock — so recovery behavior is
+// as deterministic as the runs it protects.
+type RecoveryOptions struct {
+	// MaxAttempts bounds tries per shard sub-run (and per dispatch);
+	// < 1 selects 1 — no retries.
+	MaxAttempts int
+	// BackoffBase is the simulated backoff before the first retry,
+	// doubling per retry; <= 0 selects 100µs.
+	BackoffBase Time
+	// BackoffCap caps the doubling; <= 0 selects 10ms.
+	BackoffCap Time
+	// Hedge enables duplicate dispatch against the slowest shard of a
+	// cluster scatter when it straggles past HedgeThreshold times the
+	// fastest shard; the faster of primary and hedge wins (ties keep
+	// the primary, so hedging never perturbs a fault-free run).
+	Hedge bool
+	// HedgeThreshold is the straggler multiple that triggers a hedge;
+	// <= 1 selects 2.
+	HedgeThreshold float64
+	// BreakerThreshold trips a shard's circuit breaker after that many
+	// consecutive failures; 0 disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how many refused requests an open breaker
+	// absorbs before admitting a half-open probe; < 1 selects 8.
+	BreakerCooldown int
+	// FallbackPolicy, when set, serves requests that hit an open
+	// breaker under this (typically host) policy instead of refusing
+	// them with ErrCircuitOpen. Fallback runs bypass the injection
+	// seams: recovery must not be chaos's victim too.
+	FallbackPolicy string
+}
+
+func (o RecoveryOptions) maxAttempts() int {
+	if o.MaxAttempts < 1 {
+		return 1
+	}
+	return o.MaxAttempts
+}
+
+func (o RecoveryOptions) backoffBase() Time {
+	if o.BackoffBase <= 0 {
+		return 100 * sim.Microsecond
+	}
+	return o.BackoffBase
+}
+
+func (o RecoveryOptions) backoffCap() Time {
+	if o.BackoffCap <= 0 {
+		return 10 * sim.Millisecond
+	}
+	return o.BackoffCap
+}
+
+func (o RecoveryOptions) hedgeThreshold() float64 {
+	if o.HedgeThreshold <= 1 {
+		return 2
+	}
+	return o.HedgeThreshold
+}
+
+func (o RecoveryOptions) breakerCooldown() int {
+	if o.BreakerCooldown < 1 {
+		return 8
+	}
+	return o.BreakerCooldown
+}
+
+// enabled reports whether the options ask for any recovery machinery
+// beyond plain single-attempt dispatch.
+func (o RecoveryOptions) enabled() bool {
+	return o.MaxAttempts > 1 || o.Hedge || o.BreakerThreshold > 0 || o.FallbackPolicy != ""
+}
+
+// resilient is the fault-tolerant dispatcher wrapped around one
+// registered application: it threads every run through the injection
+// seams and recovers with retries, hedging, breakers, and fallback per
+// its RecoveryOptions. A nil injector disables injection but keeps the
+// recovery machinery live for organic failures. Safe for concurrent use
+// (the injector and breakers lock internally; options are immutable).
+type resilient struct {
+	name string
+	app  application
+	inj  *faultinject.Injector
+	rec  RecoveryOptions
+	brk  *faultinject.BreakerSet // nil when breakers are disabled
+}
+
+func newResilient(name string, app application, inj *faultinject.Injector, rec RecoveryOptions) *resilient {
+	r := &resilient{name: name, app: app, inj: inj, rec: rec}
+	if rec.BreakerThreshold > 0 {
+		r.brk = faultinject.NewBreakerSet(rec.BreakerThreshold, rec.breakerCooldown())
+	}
+	return r
+}
+
+// run executes one request through the dispatch seam and the shard-level
+// recovery machinery, returning the merged result plus the request's
+// recovery accounting. Injected dispatch-seam backend errors retry with
+// backoff up to MaxAttempts; shard-level faults are retried per shard by
+// runShard, so the two retry budgets never multiply.
+func (r *resilient) run(policy string) (*RunResult, serve.Recovery, error) {
+	var rec serve.Recovery
+	max := r.rec.maxAttempts()
+	var penalty Time
+	for attempt := 1; ; attempt++ {
+		if r.inj.Dispatch(r.name, attempt) {
+			rec.Injected++
+			if attempt >= max {
+				return nil, rec, fmt.Errorf("conduit: dispatch %s: backend error after %d attempts: %w",
+					r.name, attempt, ErrInjected)
+			}
+			rec.Retries++
+			b := faultinject.Backoff(r.rec.backoffBase(), r.rec.backoffCap(), attempt)
+			rec.BackoffSim += b
+			penalty += b
+			continue
+		}
+		res, err := r.runApp(policy, &rec)
+		if err != nil {
+			return nil, rec, err
+		}
+		res.Elapsed += penalty
+		return res, rec, nil
+	}
+}
+
+// runApp dispatches to the shard-aware cluster path or the single-shard
+// deployment path; unknown application kinds run unprotected.
+func (r *resilient) runApp(policy string, rec *serve.Recovery) (*RunResult, error) {
+	switch app := r.app.(type) {
+	case *Cluster:
+		return r.runCluster(app, policy, rec)
+	case *Deployment:
+		return r.runShard(app, 0, policy, rec)
+	default:
+		return app.Run(policy)
+	}
+}
+
+// runCluster scatters the request across the shards with per-shard
+// recovery, then optionally hedges the straggler: a duplicate sub-run
+// against the slowest shard, first-wins in simulated time (the primary
+// keeps ties, so a deterministic tie — e.g. a fault-free duplicate —
+// never changes the merged result). Per-shard recovery accounting is
+// merged into rec in shard order.
+func (r *resilient) runCluster(cl *Cluster, policy string, rec *serve.Recovery) (*RunResult, error) {
+	if !KnownPolicy(policy) {
+		return nil, errUnknownPolicy(policy)
+	}
+	recs := make([]serve.Recovery, len(cl.deps))
+	parts := make([]*RunResult, len(cl.deps))
+	gather := func(i int, dep *Deployment) (*RunResult, error) {
+		res, err := r.runShard(dep, i, policy, &recs[i])
+		parts[i] = res
+		return res, err
+	}
+	merged, err := cl.runShards(gather)
+	for i := range recs {
+		rec.Merge(recs[i])
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.rec.Hedge && len(cl.deps) >= 2 {
+		elapsed := make([]Time, len(parts))
+		for i, p := range parts {
+			elapsed[i] = p.Elapsed
+		}
+		if s := cluster.HedgePick(elapsed, r.rec.hedgeThreshold()); s >= 0 {
+			rec.Hedges++
+			var hrec serve.Recovery
+			dup, derr := guardShardRun(s, func() (*RunResult, error) {
+				return r.runShard(cl.deps[s], s, policy, &hrec)
+			})
+			rec.Merge(hrec)
+			if derr == nil && dup.Elapsed < parts[s].Elapsed {
+				// The hedge won: in simulated time the duplicate finishes
+				// first, the straggling primary is cancelled, and the
+				// merge sees only the winner.
+				rec.HedgeWins++
+				parts[s] = dup
+				return cl.merge(parts), nil
+			}
+		}
+	}
+	return merged, nil
+}
+
+// runShard serves one shard's sub-run with the full per-shard recovery
+// stack: breaker admission (checked before every attempt, so a breaker
+// tripping mid-request degrades the request's remaining attempts),
+// injected fork/shard faults, retries with simulated backoff, and
+// fallback. The simulated time burnt by failed attempts and backoff is
+// charged to the winning attempt's Elapsed.
+func (r *resilient) runShard(dep *Deployment, shard int, policy string, rec *serve.Recovery) (*RunResult, error) {
+	var b *faultinject.Breaker
+	if r.brk != nil {
+		b = r.brk.Get(fmt.Sprintf("%s#%d", r.name, shard))
+	}
+	max := r.rec.maxAttempts()
+	var penalty Time
+	var lastErr error
+	for attempt := 1; attempt <= max; attempt++ {
+		if b != nil && !b.Allow() {
+			if fb := r.rec.FallbackPolicy; fb != "" {
+				rec.Fallbacks++
+				res, err := guardShardRun(shard, func() (*RunResult, error) { return dep.Run(fb) })
+				if err != nil {
+					return nil, err
+				}
+				res.Elapsed += penalty
+				return res, nil
+			}
+			return nil, fmt.Errorf("conduit: %s shard %d: %w", r.name, shard, ErrCircuitOpen)
+		}
+		rec.Attempts++
+		if attempt > 1 {
+			rec.Retries++
+			back := faultinject.Backoff(r.rec.backoffBase(), r.rec.backoffCap(), attempt-1)
+			rec.BackoffSim += back
+			penalty += back
+		}
+		res, cost, err := r.attemptShard(dep, shard, policy, attempt, rec)
+		if err == nil {
+			if b != nil {
+				b.Success()
+			}
+			res.Elapsed += penalty
+			return res, nil
+		}
+		if b != nil {
+			b.Failure()
+		}
+		penalty += cost
+		lastErr = err
+	}
+	return nil, fmt.Errorf("conduit: %s shard %d: %d attempts exhausted: %w",
+		r.name, shard, max, lastErr)
+}
+
+// attemptShard executes one attempt through the pool and device seams.
+// cost is the simulated time the attempt burnt if it failed (a failed
+// run still ran; a slow-then-failed run burnt its degraded time); it is
+// zero on success, where the run's own time lives in res.Elapsed.
+func (r *resilient) attemptShard(dep *Deployment, shard int, policy string, attempt int, rec *serve.Recovery) (*RunResult, Time, error) {
+	if policy == "CPU" || policy == "GPU" {
+		// Host baselines fork no device and touch no pool: only the
+		// dispatch seam applies to them.
+		res, err := guardShardRun(shard, func() (*RunResult, error) { return dep.Run(policy) })
+		return res, 0, err
+	}
+	if fd := r.inj.Fork(r.name, shard, attempt); fd.Fail || fd.Poison {
+		rec.Injected++
+		if fd.Fail {
+			return nil, 0, fmt.Errorf("conduit: %s shard %d: fork acquisition failed: %w",
+				r.name, shard, ErrInjected)
+		}
+		// A poisoned clone really consumes a fork, is found unusable, and
+		// is discarded; the pool quarantines the slot and repairs it by
+		// re-cloning in the background.
+		if _, err := dep.Fork(); err != nil {
+			return nil, 0, err
+		}
+		if p := dep.Pool(); p != nil {
+			p.Quarantine()
+		}
+		return nil, 0, fmt.Errorf("conduit: %s shard %d: poisoned fork: %w",
+			r.name, shard, ErrInjected)
+	}
+	sd := r.inj.Shard(r.name, shard, attempt)
+	if sd.Panic {
+		rec.Injected++
+		_, err := guardShardRun(shard, func() (*RunResult, error) {
+			panic(fmt.Sprintf("faultinject: injected panic (%s shard %d attempt %d)", r.name, shard, attempt))
+		})
+		return nil, 0, err
+	}
+	res, err := guardShardRun(shard, func() (*RunResult, error) { return dep.Run(policy) })
+	if err != nil {
+		return nil, 0, err
+	}
+	if sd.Slowdown > 1 {
+		res.Elapsed = Time(float64(res.Elapsed) * sd.Slowdown)
+	}
+	if sd.Fail {
+		// The run completed but its result is injected-lost; its (possibly
+		// degraded) simulated time was still burnt and charges the retry.
+		rec.Injected++
+		return nil, res.Elapsed, fmt.Errorf("conduit: %s shard %d: shard run failed: %w",
+			r.name, shard, ErrInjected)
+	}
+	if sd.Slowdown > 1 {
+		rec.Injected++
+	}
+	return res, 0, nil
+}

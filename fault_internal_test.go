@@ -1,0 +1,168 @@
+package conduit
+
+import (
+	"strings"
+	"testing"
+
+	"conduit/internal/faultinject"
+	"conduit/internal/serve"
+	"conduit/internal/workloads"
+)
+
+// TestGuardShardRunContainsPanic pins the scatter-gather containment
+// satellite: a panicking shard run surfaces as a `shard %d panicked`
+// error — the exact wording the serve engine's containment uses — and
+// never unwinds into the caller.
+func TestGuardShardRunContainsPanic(t *testing.T) {
+	r, err := guardShardRun(3, func() (*RunResult, error) {
+		panic("kernel exploded")
+	})
+	if r != nil {
+		t.Errorf("contained panic returned a result: %+v", r)
+	}
+	if err == nil || !strings.Contains(err.Error(), "shard 3 panicked: kernel exploded") {
+		t.Errorf("err = %v, want a `shard 3 panicked` error", err)
+	}
+
+	r, err = guardShardRun(0, func() (*RunResult, error) {
+		return &RunResult{Policy: "Conduit"}, nil
+	})
+	if err != nil || r == nil || r.Policy != "Conduit" {
+		t.Errorf("clean run through the guard: r = %+v, err = %v", r, err)
+	}
+}
+
+// TestClusterRunContainsPanickingShard drives the containment through
+// the real concurrent scatter path: a shard whose run panics must fail
+// that Run call with a wrapped shard error, leaving the cluster (and the
+// process) fit for the next request.
+func TestClusterRunContainsPanickingShard(t *testing.T) {
+	w, _ := workloads.Find("aes", 1)
+	cl, err := NewSystem(DefaultConfig()).DeployCluster(w.Source, ClusterOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	calls := 0
+	_, err = cl.runShards(func(i int, dep *Deployment) (*RunResult, error) {
+		calls++
+		if i == 1 {
+			panic("injected shard panic")
+		}
+		return dep.Run("Conduit")
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard 1 panicked") {
+		t.Fatalf("scatter with a panicking shard: err = %v, want a contained shard-1 panic", err)
+	}
+	// The cluster still serves: containment must not poison later runs.
+	if _, err := cl.Run("Conduit"); err != nil {
+		t.Fatalf("run after contained shard panic: %v", err)
+	}
+	_ = calls
+}
+
+// TestZeroRateResilientMatchesPlainRun is the dispatcher-level
+// zero-overhead pin: the resilient path with a zero-rate injector and
+// the full recovery configuration must produce a result byte-identical
+// to the plain Cluster.Run — same elapsed, energy, overhead, and latency
+// distribution — with zero recovery costs accrued.
+func TestZeroRateResilientMatchesPlainRun(t *testing.T) {
+	w, _ := workloads.Find("aes", 1)
+	sys := NewSystem(DefaultConfig())
+	cl, err := sys.DeployCluster(w.Source, ClusterOptions{Shards: 2, Prefork: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	want, err := cl.Run("Conduit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{Seed: 21}) // all rates zero
+	// HedgeThreshold 8 clears aes's natural ~5.6x 2-shard plan skew, so
+	// zero faults means zero recovery activity of any kind.
+	res := newResilient("aes", cl, inj, RecoveryOptions{
+		MaxAttempts:      3,
+		Hedge:            true,
+		HedgeThreshold:   8,
+		BreakerThreshold: 4,
+		FallbackPolicy:   "CPU",
+	})
+	var rec serve.Recovery
+	got, gotRec, err := res.run("Conduit")
+	rec = gotRec
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Elapsed != want.Elapsed ||
+		got.ComputeEnergy != want.ComputeEnergy ||
+		got.MovementEnergy != want.MovementEnergy ||
+		got.OverheadTime != want.OverheadTime {
+		t.Errorf("zero-rate resilient run differs from plain run:\n got: %+v\nwant: %+v", got, want)
+	}
+	if got.InstLatencies.Count() != want.InstLatencies.Count() ||
+		got.InstLatencies.P99() != want.InstLatencies.P99() {
+		t.Errorf("latency reservoirs differ: got %d samples p99 %v, want %d samples p99 %v",
+			got.InstLatencies.Count(), got.InstLatencies.P99(),
+			want.InstLatencies.Count(), want.InstLatencies.P99())
+	}
+	if rec.Retries != 0 || rec.Hedges != 0 || rec.Fallbacks != 0 || rec.Injected != 0 || rec.BackoffSim != 0 {
+		t.Errorf("zero-rate run accrued recovery costs: %+v", rec)
+	}
+	if rec.Attempts != int64(cl.Shards()) {
+		t.Errorf("Attempts = %d, want exactly one per shard (%d)", rec.Attempts, cl.Shards())
+	}
+
+	// With the default threshold (2), aes's plan skew does trigger a
+	// hedge even fault-free — and the first-wins tie rule must keep the
+	// primary, so the merged result is still byte-identical; only the
+	// accounting shows the duplicate dispatch.
+	eager := newResilient("aes", cl, faultinject.New(faultinject.Config{Seed: 22}),
+		RecoveryOptions{MaxAttempts: 3, Hedge: true})
+	got2, rec2, err := eager.run("Conduit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Elapsed != want.Elapsed || got2.ComputeEnergy != want.ComputeEnergy {
+		t.Errorf("fault-free hedged run perturbed the result: got %v/%.6fJ, want %v/%.6fJ",
+			got2.Elapsed, got2.ComputeEnergy, want.Elapsed, want.ComputeEnergy)
+	}
+	if rec2.Hedges != 1 || rec2.HedgeWins != 0 {
+		t.Errorf("skew-triggered hedge accounting: Hedges = %d, HedgeWins = %d; want 1 and 0",
+			rec2.Hedges, rec2.HedgeWins)
+	}
+}
+
+// TestResilientDispatchRetryExhaustion pins the dispatch seam's retry
+// budget: with backend errors certain and a single attempt allowed, the
+// request fails wrapped in ErrInjected; allowing retries, it keeps
+// consuming backoff until the budget runs out.
+func TestResilientDispatchRetryExhaustion(t *testing.T) {
+	w, _ := workloads.Find("aes", 1)
+	sys := NewSystem(DefaultConfig())
+	dep, err := sys.Deploy(mustCompile(t, sys, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{Seed: 9, BackendError: 1})
+	res := newResilient("aes", dep, inj, RecoveryOptions{MaxAttempts: 3})
+	_, rec, err := res.run("Conduit")
+	if err == nil {
+		t.Fatal("certain backend errors served successfully")
+	}
+	if rec.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (three dispatch attempts)", rec.Retries)
+	}
+	if rec.BackoffSim <= 0 {
+		t.Errorf("BackoffSim = %v, want simulated backoff charged for the retries", rec.BackoffSim)
+	}
+}
+
+func mustCompile(t *testing.T, sys *System, w workloads.Named) *Compiled {
+	t.Helper()
+	c, err := Compile(w.Source, &sys.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

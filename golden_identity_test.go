@@ -145,6 +145,72 @@ func TestServedResponseByteIdenticalToReference(t *testing.T) {
 	}
 }
 
+// TestZeroFaultServingByteIdenticalToReference extends the served
+// identity to the fault-tolerant dispatch path: a server with the whole
+// chaos and recovery stack enabled but every injection rate at zero must
+// serve results byte-identical to a direct run on the functional
+// reference system. This is the zero-overhead contract that licenses
+// wiring the resilient dispatcher into the hot path at all.
+func TestZeroFaultServingByteIdenticalToReference(t *testing.T) {
+	cfg := conduit.DefaultConfig()
+	src := quickstartSource(2 * 16384)
+	c, err := conduit.Compile(src, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := conduit.NewReferenceSystem(cfg).RunCompiled(c, "Conduit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := conduit.FaultConfig{Seed: 99} // all rates zero
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{
+		Concurrency: 2,
+		Prefork:     1,
+		Faults:      &faults,
+		Recovery: conduit.RecoveryOptions{
+			MaxAttempts:      3,
+			Hedge:            true,
+			BreakerThreshold: 4,
+			FallbackPolicy:   "CPU",
+		},
+	})
+	defer srv.Drain()
+	if err := srv.RegisterCompiled("quickstart", c); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Do(conduit.Request{Tenant: "t", Workload: "quickstart", Policy: "Conduit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := keyOf(conduit.ResultOf(resp)); !reflect.DeepEqual(got, keyOf(want)) {
+		t.Errorf("zero-fault resilient response differs from functional reference run\n got: %+v\nwant: %+v",
+			got, keyOf(want))
+	}
+	if log := srv.FaultLog(); len(log) != 0 {
+		t.Errorf("zero-rate chaos injected %d faults", len(log))
+	}
+	rec := resp.Outcome.Recovery
+	if rec.Retries != 0 || rec.Hedges != 0 || rec.Fallbacks != 0 || rec.BackoffSim != 0 {
+		t.Errorf("zero-fault request accrued recovery costs: %+v", rec)
+	}
+}
+
+// TestAvailabilityByteIdenticalFastVsReference pins the availability
+// sweep the same way as the paper figures: chaos draws, recovery
+// machinery, and the table rendering must all be payload-blind.
+func TestAvailabilityByteIdenticalFastVsReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep on two harnesses")
+	}
+	assertIdentical(t, "Availability",
+		func(e *conduit.Experiments) (*conduit.Table, error) {
+			return e.Availability(conduit.AvailabilityOptions{
+				Requests:   15,
+				FaultRates: []float64{0, 0.1},
+			})
+		})
+}
+
 // TestLatencyCurveStructureIdenticalFastVsReference runs the open-loop
 // sweep once per harness and compares the deterministic projection of
 // the table: the header and the (policy, shards, offered) identity of

@@ -1,0 +1,25 @@
+package faultinject
+
+import "conduit/internal/sim"
+
+// Backoff returns the simulated-time delay charged before retry number
+// retry (1 = the first retry): base doubled per prior retry, capped at
+// max. It is a pure function — no jitter, no wall clock — so a retried
+// request's charged latency is as reproducible as the fault schedule
+// that caused it. A non-positive base or retry charges nothing.
+func Backoff(base, max sim.Time, retry int) sim.Time {
+	if base <= 0 || retry <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		if d >= max {
+			break
+		}
+		d *= 2
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

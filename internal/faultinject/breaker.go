@@ -1,0 +1,190 @@
+package faultinject
+
+import (
+	"sort"
+	"sync"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The three classical breaker states.
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits traffic for a cooldown counted in
+	// requests (not wall-clock time — determinism), then half-opens.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe: success closes the
+	// breaker, failure re-opens it for another cooldown.
+	BreakerHalfOpen
+)
+
+// String renders the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// A Breaker is a deterministic circuit breaker. It trips open after
+// Threshold consecutive failures; while open it refuses (short-circuits)
+// Cooldown requests, then admits one half-open probe whose outcome
+// closes or re-opens it. All cadence is counted in requests, never in
+// wall-clock time, so a serial request trace drives the breaker through
+// an exactly reproducible state sequence. Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  int
+	state     BreakerState
+	failures  int   // consecutive failures while closed
+	refused   int   // requests short-circuited in the current open period
+	trips     int64 // closed/half-open -> open transitions
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures (< 1 selects 1) with a cooldown of the given number of
+// short-circuited requests before each half-open probe (< 1 selects 1).
+func NewBreaker(threshold, cooldown int) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown < 1 {
+		cooldown = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether the next request may pass. While open it
+// returns false Cooldown times, then transitions to half-open and
+// admits the next request as the probe. Admitting the probe
+// provisionally closes the breaker one failure short of re-tripping:
+// a failed probe re-opens it immediately, a success (which resets the
+// consecutive-failure count) keeps it closed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		b.refused++
+		if b.refused >= b.cooldown {
+			b.state = BreakerHalfOpen
+		}
+		return false
+	default: // BreakerHalfOpen: the probe is the next allowed request
+		b.state = BreakerClosed // provisional: Success keeps it, Failure re-opens
+		b.failures = b.threshold - 1
+		return true
+	}
+}
+
+// Success records a passed request that succeeded.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != BreakerOpen {
+		b.state = BreakerClosed
+	}
+}
+
+// Failure records a passed request that failed, tripping the breaker
+// once the consecutive-failure threshold is reached (a failed half-open
+// probe re-opens immediately).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.failures = 0
+		b.refused = 0
+		b.trips++
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts transitions into the open state so far.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// A BreakerSet keys breakers by name — the serving tier uses one per
+// (workload, shard). Safe for concurrent use.
+type BreakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  int
+	m         map[string]*Breaker
+}
+
+// NewBreakerSet builds a set whose breakers share one configuration.
+func NewBreakerSet(threshold, cooldown int) *BreakerSet {
+	return &BreakerSet{threshold: threshold, cooldown: cooldown, m: make(map[string]*Breaker)}
+}
+
+// Get returns (creating if needed) the named breaker.
+func (s *BreakerSet) Get(name string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[name]
+	if b == nil {
+		b = NewBreaker(s.threshold, s.cooldown)
+		s.m[name] = b
+	}
+	return b
+}
+
+// BreakerStatus is one breaker's snapshot in a set.
+type BreakerStatus struct {
+	Name  string
+	State BreakerState
+	Trips int64
+}
+
+// Snapshot reports every breaker in the set, sorted by name so rendered
+// status is stable run to run.
+func (s *BreakerSet) Snapshot() []BreakerStatus {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]BreakerStatus, 0, len(names))
+	for _, name := range names {
+		b := s.m[name]
+		out = append(out, BreakerStatus{Name: name, State: b.State(), Trips: b.Trips()})
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Trips sums trip counts across the set.
+func (s *BreakerSet) Trips() int64 {
+	var total int64
+	for _, st := range s.Snapshot() {
+		total += st.Trips
+	}
+	return total
+}

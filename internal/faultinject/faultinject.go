@@ -1,0 +1,323 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"conduit/internal/sim"
+)
+
+// Config sets the per-attempt fault probabilities. The zero Config
+// injects nothing: an Injector built from it draws its schedule but
+// never fires, so wiring the machinery in at zero rates leaves every
+// run byte-identical to one with no injector at all.
+type Config struct {
+	// Seed roots every per-site decision stream.
+	Seed uint64
+	// ShardFail is the probability a device-level shard run fails after
+	// executing (its work is charged, its result discarded).
+	ShardFail float64
+	// SlowShard is the probability a shard run is degraded: its
+	// simulated elapsed time is multiplied by SlowFactor, modeling a
+	// busy or throttled drive without changing what it computed.
+	SlowShard float64
+	// SlowFactor is the degradation multiplier (< 1 selects 4).
+	SlowFactor float64
+	// PanicRate is the probability a shard run panics mid-flight — the
+	// containment drill for the scatter-gather recovery path.
+	PanicRate float64
+	// ForkFail is the probability acquiring a pooled fork fails before
+	// any device is obtained.
+	ForkFail float64
+	// PoisonFork is the probability an acquired fork is poisoned: the
+	// clone is unusable, the attempt fails, and the pool quarantines
+	// its buffer (see conduit.DevicePool).
+	PoisonFork float64
+	// BackendError is the probability the serve-level dispatch of a
+	// request errors before reaching the application at all.
+	BackendError float64
+}
+
+func (c Config) slowFactor() float64 {
+	if c.SlowFactor < 1 {
+		return 4
+	}
+	return c.SlowFactor
+}
+
+// Kind names an injected fault class in logs and reports.
+type Kind string
+
+// The injectable fault kinds, one per seam decision.
+const (
+	KindBackend   Kind = "backend"    // serve-level dispatch error
+	KindForkFail  Kind = "fork-fail"  // pool-level fork acquisition failure
+	KindPoison    Kind = "poison"     // pool-level poisoned clone
+	KindPanic     Kind = "panic"      // device-level shard run panic
+	KindShardFail Kind = "shard-fail" // device-level shard run failure
+	KindSlow      Kind = "slow"       // device-level slow-shard degradation
+)
+
+// Fault is one injected fault, as recorded and replayed. Site plus
+// SiteSeq identify the exact decision point (the SiteSeq'th decision
+// drawn at Site), which is what lets a replay injector reproduce the
+// schedule without an RNG; Seq orders the log as captured.
+type Fault struct {
+	Seq      int64   `json:"seq"`
+	Site     string  `json:"site"`
+	SiteSeq  int64   `json:"site_seq"`
+	Kind     Kind    `json:"kind"`
+	Workload string  `json:"workload"`
+	Shard    int     `json:"shard,omitempty"`
+	Attempt  int     `json:"attempt"`
+	Slowdown float64 `json:"slowdown,omitempty"`
+}
+
+// ForkDecision is the pool-seam outcome for one fork acquisition.
+type ForkDecision struct {
+	// Fail refuses the acquisition outright; no device is obtained.
+	Fail bool
+	// Poison hands out a fork that turns out to be unusable; the
+	// acquisition consumed a clone and the pool should quarantine.
+	Poison bool
+}
+
+// ShardDecision is the device-seam outcome for one shard run attempt.
+type ShardDecision struct {
+	// Panic makes the run panic mid-flight.
+	Panic bool
+	// Fail discards the run's result after it executed.
+	Fail bool
+	// Slowdown, when > 1, multiplies the run's simulated elapsed time.
+	Slowdown float64
+}
+
+// siteState is one injection site's private decision stream.
+type siteState struct {
+	rng *sim.RNG
+	seq int64
+}
+
+// An Injector draws the fault schedule. A nil *Injector is the disabled
+// layer: every decision method returns the zero decision without
+// touching any state, so fault-free paths pay one nil check.
+//
+// An Injector is safe for concurrent use; decisions at distinct sites
+// are independent substreams, so concurrency across sites cannot
+// perturb any site's schedule.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	sites map[string]*siteState
+	// replay, when non-nil, overrides the RNG: decision (site, seq)
+	// fires iff the recorded log fired there.
+	replay map[string]map[int64]Fault
+	log    []Fault
+	seq    int64
+}
+
+// New builds a live injector drawing from cfg's seeded streams.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, sites: make(map[string]*siteState)}
+}
+
+// NewReplay builds an injector that replays a recorded fault log: the
+// i'th decision at each site fires exactly as recorded, independent of
+// any rate configuration. Decisions beyond the log inject nothing.
+func NewReplay(faults []Fault) *Injector {
+	in := &Injector{sites: make(map[string]*siteState), replay: make(map[string]map[int64]Fault)}
+	for _, f := range faults {
+		m := in.replay[f.Site]
+		if m == nil {
+			m = make(map[int64]Fault)
+			in.replay[f.Site] = m
+		}
+		m[f.SiteSeq] = f
+	}
+	return in
+}
+
+// Log returns a copy of every fault injected so far, in capture order.
+// Under a serial driver the order is fully deterministic; concurrent
+// drivers stay deterministic per site (Site+SiteSeq), which is the
+// identity replay keys on.
+func (in *Injector) Log() []Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.log...)
+}
+
+// siteSeed derives the site's independent substream seed by mixing the
+// root seed with an FNV-1a hash of the site name through the SplitMix64
+// finalizer (the same split discipline as loadgen.Stream). Hashing the
+// name — rather than numbering sites by creation order — makes the
+// substream a pure function of the site's identity.
+func siteSeed(root uint64, site string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	z := root + (h+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// site returns (creating if needed) the state for a site; caller holds
+// in.mu.
+func (in *Injector) site(name string) *siteState {
+	st := in.sites[name]
+	if st == nil {
+		st = &siteState{rng: sim.NewRNG(siteSeed(in.cfg.Seed, name))}
+		in.sites[name] = st
+	}
+	return st
+}
+
+// record appends one injected fault to the log; caller holds in.mu.
+func (in *Injector) record(f Fault) {
+	f.Seq = in.seq
+	in.seq++
+	in.log = append(in.log, f)
+}
+
+// Dispatch draws the serve-level seam for one dispatch attempt of
+// workload: true means the dispatch errors before reaching the
+// application.
+func (in *Injector) Dispatch(workload string, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	site := "serve|" + workload
+	st := in.site(site)
+	seq := st.seq
+	st.seq++
+	if in.replay != nil {
+		f, ok := in.replay[site][seq]
+		if !ok || f.Kind != KindBackend {
+			return false
+		}
+		in.record(f)
+		return true
+	}
+	if st.rng.Float64() >= in.cfg.BackendError {
+		return false
+	}
+	in.record(Fault{Site: site, SiteSeq: seq, Kind: KindBackend, Workload: workload, Attempt: attempt})
+	return true
+}
+
+// Fork draws the pool seam for one fork acquisition on a shard. Exactly
+// two uniforms are consumed per call regardless of the outcome, so the
+// stream position is a function of the call count alone.
+func (in *Injector) Fork(workload string, shard, attempt int) ForkDecision {
+	if in == nil {
+		return ForkDecision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	site := fmt.Sprintf("pool|%s#%d", workload, shard)
+	st := in.site(site)
+	seq := st.seq
+	st.seq++
+	if in.replay != nil {
+		f, ok := in.replay[site][seq]
+		if !ok {
+			return ForkDecision{}
+		}
+		var d ForkDecision
+		switch f.Kind {
+		case KindForkFail:
+			d.Fail = true
+		case KindPoison:
+			d.Poison = true
+		default:
+			return ForkDecision{}
+		}
+		in.record(f)
+		return d
+	}
+	pFail := st.rng.Float64()
+	pPoison := st.rng.Float64()
+	f := Fault{Site: site, SiteSeq: seq, Workload: workload, Shard: shard, Attempt: attempt}
+	switch {
+	case pFail < in.cfg.ForkFail:
+		f.Kind = KindForkFail
+		in.record(f)
+		return ForkDecision{Fail: true}
+	case pPoison < in.cfg.PoisonFork:
+		f.Kind = KindPoison
+		in.record(f)
+		return ForkDecision{Poison: true}
+	}
+	return ForkDecision{}
+}
+
+// Shard draws the device seam for one shard run attempt. Exactly three
+// uniforms are consumed per call; when several faults fire at once the
+// precedence is panic > fail > slow (a failed run may still carry a
+// Slowdown — the discarded attempt's charged cost is the degraded one).
+func (in *Injector) Shard(workload string, shard, attempt int) ShardDecision {
+	if in == nil {
+		return ShardDecision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	site := fmt.Sprintf("dev|%s#%d", workload, shard)
+	st := in.site(site)
+	seq := st.seq
+	st.seq++
+	if in.replay != nil {
+		f, ok := in.replay[site][seq]
+		if !ok {
+			return ShardDecision{}
+		}
+		var d ShardDecision
+		switch f.Kind {
+		case KindPanic:
+			d.Panic = true
+		case KindShardFail:
+			d.Fail = true
+			d.Slowdown = f.Slowdown
+		case KindSlow:
+			d.Slowdown = f.Slowdown
+		default:
+			return ShardDecision{}
+		}
+		in.record(f)
+		return d
+	}
+	pPanic := st.rng.Float64()
+	pFail := st.rng.Float64()
+	pSlow := st.rng.Float64()
+	var d ShardDecision
+	if pSlow < in.cfg.SlowShard {
+		d.Slowdown = in.cfg.slowFactor()
+	}
+	if pFail < in.cfg.ShardFail {
+		d.Fail = true
+	}
+	if pPanic < in.cfg.PanicRate {
+		d = ShardDecision{Panic: true}
+	}
+	f := Fault{Site: site, SiteSeq: seq, Workload: workload, Shard: shard, Attempt: attempt, Slowdown: d.Slowdown}
+	switch {
+	case d.Panic:
+		f.Kind = KindPanic
+		f.Slowdown = 0
+		in.record(f)
+	case d.Fail:
+		f.Kind = KindShardFail
+		in.record(f)
+	case d.Slowdown > 1:
+		f.Kind = KindSlow
+		in.record(f)
+	}
+	return d
+}

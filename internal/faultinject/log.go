@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write emits faults as JSONL: one JSON object per line, in slice
+// order — the same portable, diffable shape as loadgen traces.
+func Write(w io.Writer, faults []Fault) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for i := range faults {
+		if err := enc.Encode(&faults[i]); err != nil {
+			return fmt.Errorf("faultinject: write fault %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSONL fault log, skipping blank lines. Errors name the
+// offending line.
+func Read(r io.Reader) ([]Fault, error) {
+	var faults []Fault
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var f Fault
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return nil, fmt.Errorf("faultinject: fault log line %d: %w", line, err)
+		}
+		faults = append(faults, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("faultinject: read fault log: %w", err)
+	}
+	return faults, nil
+}
+
+// WriteFile records faults to path (overwriting).
+func WriteFile(path string, faults []Fault) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, faults); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a JSONL fault log from path.
+func ReadFile(path string) ([]Fault, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -43,10 +43,51 @@ type Outcome struct {
 	// Value is the backend result (the conduit facade stores a
 	// *conduit.RunResult here).
 	Value interface{}
-	// Elapsed is the simulated execution time of the cell.
+	// Elapsed is the simulated execution time of the cell, including
+	// any simulated-time retry backoff the backend charged.
 	Elapsed sim.Time
 	// EnergyJ is the cell's total consumed energy in joules.
 	EnergyJ float64
+	// Recovery carries the fault-tolerance accounting of the execution
+	// (zero for a clean first-attempt run on a fault-free backend).
+	Recovery Recovery
+}
+
+// Recovery is the fault-tolerance accounting of one served execution:
+// how much extra work the retry/hedge/breaker machinery spent to
+// produce the response. A zero Recovery is a clean first-try success.
+type Recovery struct {
+	// Attempts counts executed run attempts, across every shard
+	// (1 per shard = clean).
+	Attempts int64
+	// Retries counts re-attempts after a failed attempt.
+	Retries int64
+	// Hedges counts duplicate dispatches issued against slow shards;
+	// HedgeWins counts those whose duplicate beat the primary.
+	Hedges    int64
+	HedgeWins int64
+	// Fallbacks counts shard executions served by the degraded
+	// fallback policy because a circuit breaker was open.
+	Fallbacks int64
+	// Injected counts faults the chaos layer injected into this
+	// execution.
+	Injected int64
+	// BackoffSim is the simulated-time retry backoff charged into the
+	// response's Elapsed.
+	BackoffSim sim.Time
+}
+
+// Merge accumulates o into r; backends assemble a request's Recovery
+// from per-shard pieces with it, and the accountant folds per-response
+// recovery into tenant totals.
+func (r *Recovery) Merge(o Recovery) {
+	r.Attempts += o.Attempts
+	r.Retries += o.Retries
+	r.Hedges += o.Hedges
+	r.HedgeWins += o.HedgeWins
+	r.Fallbacks += o.Fallbacks
+	r.Injected += o.Injected
+	r.BackoffSim += o.BackoffSim
 }
 
 // Runner executes one (workload, policy) cell. Implementations must be
@@ -162,6 +203,7 @@ type tenantAccount struct {
 	expired  int64 // dropped at dispatch (ErrDeadlineExceeded)
 	shared   int64
 	attained int64            // served within their deadline (or with none)
+	recovery Recovery         // fault-tolerance work behind served responses
 	wall     *histo.Histogram // wall-clock latency of completed responses, ns
 	sim      sim.Time         // simulated time attributed to the tenant
 	energyJ  float64          // simulated energy attributed to the tenant
@@ -281,10 +323,10 @@ func (e *Engine) serveOne(p *pending) {
 			}
 		}()
 		out, err := e.runner.RunCell(p.req.Workload, p.req.Policy)
-		if err != nil {
-			return nil, err
-		}
-		return out, nil
+		// The outcome travels even with a non-nil error: a failed request
+		// may still carry recovery accounting (retries attempted, backoff
+		// charged) that the tenant's books must not lose.
+		return out, err
 	}
 	if !e.cfg.Memoize && !e.cfg.Coalesce {
 		v, err := exec()
@@ -314,8 +356,8 @@ func (e *Engine) serveOne(p *pending) {
 // finish completes a request: record the outcome, account it, release
 // the blocked Do, and deliver the response to an open-loop submitter.
 func (e *Engine) finish(p *pending, v interface{}, err error, shared bool) {
-	if err == nil {
-		p.resp.Outcome = v.(Outcome)
+	if o, ok := v.(Outcome); ok {
+		p.resp.Outcome = o
 	}
 	p.resp.Request = p.req
 	p.resp.Err = err
@@ -356,6 +398,9 @@ func (e *Engine) account(r *Response, tenant string) {
 	for _, a := range [...]*tenantAccount{t, &e.all} {
 		a.requests++
 		a.wall.Add(r.Latency.Nanoseconds())
+		// Recovery accounting lands regardless of the final verdict: a
+		// request that exhausted its retries still attempted them.
+		a.recovery.Merge(r.Outcome.Recovery)
 		switch {
 		case errors.Is(r.Err, ErrDeadlineExceeded):
 			a.expired++
@@ -403,6 +448,10 @@ type TenantSnapshot struct {
 	Expired  int64 // dropped at dispatch (ErrDeadlineExceeded)
 	Shared   int64 // responses served by a coalesced/memoized execution
 	Attained int64 // served within their deadline (or with none set)
+	// Recovery aggregates the fault-tolerance work (retries, hedges,
+	// breaker fallbacks, injected faults, charged backoff) behind the
+	// tenant's served responses.
+	Recovery Recovery
 	P50      time.Duration
 	P99      time.Duration
 	P999     time.Duration
@@ -433,6 +482,7 @@ func snapshotOf(name string, t *tenantAccount) TenantSnapshot {
 		Expired:  t.expired,
 		Shared:   t.shared,
 		Attained: t.attained,
+		Recovery: t.recovery,
 		P50:      time.Duration(t.wall.P50()),
 		P99:      time.Duration(t.wall.P99()),
 		P999:     time.Duration(t.wall.P999()),
@@ -473,7 +523,8 @@ func (e *Engine) Wall() *histo.Histogram {
 
 // Report renders the per-tenant service metrics as a table: request,
 // error, shed, and deadline-expiry counts, how many responses rode on a
-// shared execution, SLO attainment over offered load, wall-clock latency
+// shared execution, the recovery work behind served responses (retries,
+// hedges, breaker fallbacks), SLO attainment over offered load, wall-clock latency
 // percentiles from the bounded histogram, and the simulated time/energy
 // attributed to the tenant (shared responses bill the full cell cost to
 // each recipient — see tenantAccount). Tenants sort lexically; a TOTAL
@@ -487,11 +538,13 @@ func (e *Engine) Report() *stats.Table {
 	}
 	sort.Strings(names)
 	t := stats.NewTable("conduit-serve: per-tenant service report",
-		"tenant", "requests", "errors", "shed", "expired", "shared", "slo_pct",
+		"tenant", "requests", "errors", "shed", "expired", "shared",
+		"retries", "hedges", "fallback", "slo_pct",
 		"p50_ms", "p99_ms", "p999_ms", "max_ms", "sim_ms", "energy_J")
 	row := func(name string, a *tenantAccount) {
 		s := snapshotOf(name, a)
 		t.AddRowf(name, a.requests, a.errors, a.shed, a.expired, a.shared,
+			a.recovery.Retries, a.recovery.Hedges, a.recovery.Fallbacks,
 			fmt.Sprintf("%.1f", 100*s.Attainment()),
 			float64(s.P50)/1e6,
 			float64(s.P99)/1e6,

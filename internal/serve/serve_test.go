@@ -285,3 +285,51 @@ func TestFlightGroupSemantics(t *testing.T) {
 		t.Fatalf("retry after failure: v=%v err=%v", v, err)
 	}
 }
+
+// recoveryRunner returns a fixed Recovery on every execution, failing
+// the cells listed in fail — with the Recovery still attached, the way
+// the fault-tolerant dispatcher reports exhausted retries.
+type recoveryRunner struct {
+	rec  Recovery
+	fail map[string]error
+}
+
+func (r *recoveryRunner) RunCell(workload, policy string) (Outcome, error) {
+	if err := r.fail[workload+"|"+policy]; err != nil {
+		return Outcome{Recovery: r.rec}, err
+	}
+	return Outcome{Value: workload, Elapsed: 10, EnergyJ: 1, Recovery: r.rec}, nil
+}
+
+// TestEngineAccountsRecovery: per-request Recovery merges into the
+// tenant and global accounts — for failed requests too, whose burnt
+// retries are real work — and surfaces in the report columns.
+func TestEngineAccountsRecovery(t *testing.T) {
+	rec := Recovery{Attempts: 2, Retries: 1, Hedges: 1, HedgeWins: 1, Fallbacks: 1, BackoffSim: 100}
+	r := &recoveryRunner{rec: rec, fail: map[string]error{"bad|p": errors.New("exhausted")}}
+	e := NewEngine(r, Config{Concurrency: 1})
+	defer e.Drain()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Do(Request{Tenant: "a", Workload: "ok", Policy: "p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Do(Request{Tenant: "a", Workload: "bad", Policy: "p"}); err == nil {
+		t.Fatal("failing cell served")
+	}
+	total := e.Total()
+	// 4 requests total, each carrying one copy of rec — including the
+	// failed one.
+	if total.Recovery.Retries != 4 || total.Recovery.Attempts != 8 {
+		t.Errorf("total recovery = %+v, want 4 requests' worth of %+v", total.Recovery, rec)
+	}
+	if total.Recovery.BackoffSim != 400 {
+		t.Errorf("BackoffSim = %v, want 400", total.Recovery.BackoffSim)
+	}
+	report := e.Report().String()
+	for _, col := range []string{"retries", "hedges", "fallback"} {
+		if !strings.Contains(report, col) {
+			t.Errorf("report is missing the %q column:\n%s", col, report)
+		}
+	}
+}

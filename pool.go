@@ -1,11 +1,18 @@
 package conduit
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"conduit/internal/ssd"
 )
+
+// ErrPoolClosed is returned by DevicePool.Get — and therefore by
+// Deployment.Fork and Run — once the pool has been closed: a drained
+// deployment refuses new device runs instead of silently cloning a
+// master whose serving lifecycle has ended.
+var ErrPoolClosed = errors.New("conduit: device pool closed")
 
 // DevicePool keeps a bounded buffer of pre-forked clones of a Deployment's
 // pristine post-deploy master. Cloning a device is O(state) — cheap next
@@ -18,11 +25,17 @@ import (
 // changes who pays the copy, never what executes. Get never blocks: an
 // empty buffer (demand outran the refiller) falls back to an inline clone.
 //
+// The pool also tracks fork health: Quarantine reports a poisoned fork
+// back, which flushes the buffered clones as suspect and lets the
+// background refiller repair the buffer by re-cloning from the pristine
+// master (counted in PoolStats.Quarantined/Repairs).
+//
 // A DevicePool is safe for concurrent use. Close it to stop the refiller
-// and release buffered devices; a closed pool degrades to inline cloning.
-// A pool always belongs to exactly one Deployment — a sharded Cluster
-// attaches one pool per shard (Cluster.Prefork), never one shared pool,
-// since clones of different shard masters are not interchangeable.
+// and release buffered devices; Get on a closed pool returns
+// ErrPoolClosed. A pool always belongs to exactly one Deployment — a
+// sharded Cluster attaches one pool per shard (Cluster.Prefork), never
+// one shared pool, since clones of different shard masters are not
+// interchangeable.
 type DevicePool struct {
 	dep     *Deployment
 	free    chan *ssd.Device
@@ -33,9 +46,11 @@ type DevicePool struct {
 
 	closeOnce sync.Once
 
-	preforked int64 // clones produced by the refiller
-	hits      int64 // Gets served from the buffer
-	misses    int64 // Gets that cloned inline
+	preforked   int64 // clones produced by the refiller
+	hits        int64 // Gets served from the buffer
+	misses      int64 // Gets that cloned inline
+	quarantined int64 // poisoned forks reported back (Quarantine calls)
+	repairs     int64 // buffer flush+re-clone repair cycles completed
 }
 
 // PoolStats is a point-in-time snapshot of a pool's activity.
@@ -47,6 +62,12 @@ type PoolStats struct {
 	// Misses counts forks cloned inline because the buffer was empty
 	// (or the pool was closed).
 	Misses int64
+	// Quarantined counts forks reported poisoned via Quarantine.
+	Quarantined int64
+	// Repairs counts completed quarantine repair cycles: buffered
+	// clones flushed as suspect and their slots handed back to the
+	// refiller to re-clone from the pristine master.
+	Repairs int64
 	// Idle is the number of pre-forked clones currently buffered.
 	Idle int
 	// Closed reports whether Close has begun.
@@ -91,8 +112,9 @@ func (d *Deployment) Pool() *DevicePool {
 }
 
 // Close closes the deployment's prefork pool, if any. Forks already
-// handed out are unaffected; later Forks clone inline. The closed pool
-// stays attached so its final Stats remain inspectable.
+// handed out are unaffected; later Forks (and device-policy Runs) fail
+// with ErrPoolClosed. The closed pool stays attached so its final Stats
+// remain inspectable.
 func (d *Deployment) Close() {
 	if p := d.Pool(); p != nil {
 		p.Close()
@@ -131,24 +153,61 @@ func (p *DevicePool) refill() {
 }
 
 // Get returns a fresh post-deploy fork, preferring a pre-forked clone. It
-// never blocks: on an empty or closed buffer it clones inline, exactly
-// like Deployment.Fork without a pool.
-func (p *DevicePool) Get() *ssd.Device {
+// never blocks: on an empty buffer (demand outran the refiller) it clones
+// inline, exactly like Deployment.Fork without a pool. On a closed pool
+// it returns ErrPoolClosed — never a silent inline clone of a deployment
+// whose serving lifecycle has ended.
+func (p *DevicePool) Get() (*ssd.Device, error) {
 	select {
 	case dev, ok := <-p.free:
-		if ok {
-			// Hand the freed slot back to the refiller.
+		if !ok {
+			return nil, ErrPoolClosed
+		}
+		// Hand the freed slot back to the refiller.
+		select {
+		case p.room <- struct{}{}:
+		default:
+		}
+		atomic.AddInt64(&p.hits, 1)
+		return dev, nil
+	default:
+	}
+	select {
+	case <-p.stop:
+		return nil, ErrPoolClosed
+	default:
+	}
+	atomic.AddInt64(&p.misses, 1)
+	return p.dep.master.Clone(), nil
+}
+
+// Quarantine reports that a fork served from this pool turned out to be
+// poisoned. The handed-out fork is the caller's to discard (forks never
+// return to the buffer anyway); the pool treats the buffered clones as
+// suspect, flushes them, and hands their slots back to the background
+// refiller, which repairs the buffer by re-cloning from the pristine
+// master. On a closed pool only the quarantine count is recorded.
+func (p *DevicePool) Quarantine() {
+	atomic.AddInt64(&p.quarantined, 1)
+	for {
+		select {
+		case _, ok := <-p.free:
+			if !ok {
+				return // closed and drained: nothing to repair
+			}
 			select {
 			case p.room <- struct{}{}:
 			default:
 			}
-			atomic.AddInt64(&p.hits, 1)
-			return dev
+		default:
+			select {
+			case <-p.stop:
+			default:
+				atomic.AddInt64(&p.repairs, 1)
+			}
+			return
 		}
-	default:
 	}
-	atomic.AddInt64(&p.misses, 1)
-	return p.dep.master.Clone()
 }
 
 // Close stops the refiller and discards every buffered clone; it blocks
@@ -177,10 +236,12 @@ func (p *DevicePool) Stats() PoolStats {
 	default:
 	}
 	return PoolStats{
-		Preforked: atomic.LoadInt64(&p.preforked),
-		Hits:      atomic.LoadInt64(&p.hits),
-		Misses:    atomic.LoadInt64(&p.misses),
-		Idle:      len(p.free),
-		Closed:    closed,
+		Preforked:   atomic.LoadInt64(&p.preforked),
+		Hits:        atomic.LoadInt64(&p.hits),
+		Misses:      atomic.LoadInt64(&p.misses),
+		Quarantined: atomic.LoadInt64(&p.quarantined),
+		Repairs:     atomic.LoadInt64(&p.repairs),
+		Idle:        len(p.free),
+		Closed:      closed,
 	}
 }

@@ -2,8 +2,9 @@
 # bench.sh — record the data-plane and serving perf trajectory.
 #
 # Runs the kernel microbenchmarks, the macro benchmarks (including the
-# open-loop serving path), and writes the machine-readable record the
-# repo commits per PR (BENCH_pr7.json for this one). Usage:
+# open-loop serving path plus its fault-tolerant twin), and writes the
+# machine-readable record the repo commits per PR (BENCH_pr8.json for
+# this one). Usage:
 #
 #   scripts/bench.sh [out.json]
 #
@@ -13,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 scale="${SCALE:-2}"
 benchtime="${BENCHTIME:-5x}"
 
@@ -30,7 +31,7 @@ go test -run '^$' -bench 'BenchmarkEngineScheduleDrain|BenchmarkCalendarFastForw
 
 echo
 echo "== macro benchmarks"
-go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|BenchmarkClusterScatterGather|BenchmarkServeOpenLoopSubmit' \
+go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|BenchmarkClusterScatterGather|BenchmarkServeOpenLoopSubmit|BenchmarkServeFaultFree' \
   -benchmem -benchtime "$benchtime" .
 
 echo

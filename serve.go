@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"conduit/internal/faultinject"
 	"conduit/internal/histo"
 	"conduit/internal/serve"
 	"conduit/internal/workloads"
@@ -58,6 +59,24 @@ type ServeOptions struct {
 	// Memoize caches each (workload, policy) result for the lifetime of
 	// the server. Sound because runs are deterministic; implies Coalesce.
 	Memoize bool
+	// Faults enables the deterministic chaos layer: the server injects
+	// faults at the dispatch, pool, and device seams per the config's
+	// seeded rates (internal/faultinject) and records every injection.
+	// Nil serves fault-free with the plain dispatch path. Enabling
+	// faults forces Coalesce and Memoize off: injection draws are
+	// per-request, so requests must not share executions.
+	Faults *FaultConfig
+	// ReplayFaults, when non-nil, replays the given recorded fault
+	// schedule instead of drawing fresh: each seam consults the log and
+	// re-injects exactly the faults it recorded, yielding the identical
+	// outcome sequence. Takes precedence over Faults' rates.
+	ReplayFaults []Fault
+	// Recovery tunes the fault-tolerance machinery (retries, hedging,
+	// circuit breakers, fallback). The zero value performs plain
+	// single-attempt dispatch; a non-zero value activates the
+	// fault-tolerant path even without Faults, protecting against
+	// organic failures.
+	Recovery RecoveryOptions
 }
 
 // application is the serving-layer view of a registered app: one-shot
@@ -83,9 +102,11 @@ type Server struct {
 	sys  *System
 	opts ServeOptions
 	eng  *serve.Engine
+	inj  *faultinject.Injector // nil = no injection
 
 	mu       sync.Mutex
 	apps     map[string]application
+	res      map[string]*resilient // fault-tolerant dispatchers, same keys as apps
 	draining bool
 }
 
@@ -96,6 +117,21 @@ func NewServer(cfg Config, opts ServeOptions) *Server {
 		sys:  NewSystem(cfg),
 		opts: opts,
 		apps: make(map[string]application),
+		res:  make(map[string]*resilient),
+	}
+	switch {
+	case opts.ReplayFaults != nil:
+		s.inj = faultinject.NewReplay(opts.ReplayFaults)
+	case opts.Faults != nil:
+		s.inj = faultinject.New(*opts.Faults)
+	}
+	if s.inj != nil {
+		// Injection draws are per-request: sharing one execution among
+		// requests would let a single draw decide many requests' fates
+		// and desynchronize the recorded schedule from the request
+		// stream, so chaos configs force batching off.
+		opts.Coalesce, opts.Memoize = false, false
+		s.opts.Coalesce, s.opts.Memoize = false, false
 	}
 	s.eng = serve.NewEngine(serve.RunnerFunc(s.runCell), serve.Config{
 		Concurrency: opts.Concurrency,
@@ -173,6 +209,9 @@ func (s *Server) install(name string, build func() (application, error)) error {
 	draining = s.draining
 	if !dup && !draining {
 		s.apps[name] = app
+		if s.inj != nil || s.opts.Recovery.enabled() {
+			s.res[name] = newResilient(name, app, s.inj, s.opts.Recovery)
+		}
 	}
 	s.mu.Unlock()
 	if dup || draining {
@@ -214,21 +253,33 @@ func (s *Server) Applications() []string {
 func (s *Server) runCell(workload, policy string) (serve.Outcome, error) {
 	s.mu.Lock()
 	app := s.apps[workload]
+	ft := s.res[workload]
 	s.mu.Unlock()
 	if app == nil {
 		return serve.Outcome{}, fmt.Errorf("conduit: no application %q registered (have: %s)",
 			workload, strings.Join(s.Applications(), ", "))
 	}
-	r, err := app.Run(policy)
+	var (
+		r   *RunResult
+		rec serve.Recovery
+		err error
+	)
+	if ft != nil {
+		r, rec, err = ft.run(policy)
+	} else {
+		r, err = app.Run(policy)
+	}
 	if err != nil {
-		return serve.Outcome{}, err
+		// A failed request still reports its recovery accounting: the
+		// retries it burnt are real work the books must show.
+		return serve.Outcome{Recovery: rec}, err
 	}
 	// Served results never expose the executed drive: a coalesced or
 	// memoized response is shared between requests, and an ssd.Device is
 	// single-goroutine. The rest of a RunResult is an immutable snapshot
 	// and safe to share (the Reservoir locks internally).
 	r.Device = nil
-	return serve.Outcome{Value: r, Elapsed: r.Elapsed, EnergyJ: r.TotalEnergy()}, nil
+	return serve.Outcome{Value: r, Elapsed: r.Elapsed, EnergyJ: r.TotalEnergy(), Recovery: rec}, nil
 }
 
 // Do submits one request and blocks until it is served (closed-loop). The
@@ -294,6 +345,36 @@ func (s *Server) Total() TenantSnapshot { return s.eng.Total() }
 // latency histogram (completed responses, nanoseconds). Copies merge
 // exactly across servers or runs via LatencyHistogram.Merge.
 func (s *Server) Latencies() *LatencyHistogram { return s.eng.Wall() }
+
+// FaultLog returns the faults injected so far in injection order — the
+// replayable record of this server's chaos schedule (WriteFaultLog
+// persists it; ServeOptions.ReplayFaults re-runs it). It returns nil
+// when the server was built without Faults or ReplayFaults.
+func (s *Server) FaultLog() []Fault { return s.inj.Log() }
+
+// Breakers reports every circuit breaker's state, sorted by breaker name
+// ("workload#shard"), across all registered applications. Empty unless
+// RecoveryOptions.BreakerThreshold is set.
+func (s *Server) Breakers() []BreakerStatus {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.res))
+	for name := range s.res {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sets := make([]*faultinject.BreakerSet, 0, len(names))
+	for _, name := range names {
+		if b := s.res[name].brk; b != nil {
+			sets = append(sets, b)
+		}
+	}
+	s.mu.Unlock()
+	var out []BreakerStatus
+	for _, set := range sets {
+		out = append(out, set.Snapshot()...)
+	}
+	return out
+}
 
 // PoolStats reports each registered application's device-pool counters,
 // keyed by application name — a clustered application contributes one

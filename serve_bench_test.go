@@ -116,6 +116,65 @@ func BenchmarkServeOpenLoopSubmit(b *testing.B) {
 	srv.Drain()
 }
 
+// BenchmarkServeFaultFree is the zero-overhead pin for the fault-tolerant
+// dispatch path: the same open-loop stream as BenchmarkServeOpenLoopSubmit,
+// but served through a Server with the whole chaos and recovery stack
+// enabled at zero injection rate. The resilient dispatcher sits on the hot
+// path for every request (draws from the injector, consults the breaker),
+// so this bench is what keeps that tax at noise level — compare against
+// BenchmarkServeOpenLoopSubmit.
+func BenchmarkServeFaultFree(b *testing.B) {
+	cfg := conduit.DefaultConfig()
+	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const wave = 4096
+	faults := conduit.FaultConfig{Seed: 7} // all rates zero
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{
+		Concurrency: 2, QueueDepth: 2 * wave, Prefork: 2,
+		Faults: &faults,
+		Recovery: conduit.RecoveryOptions{
+			MaxAttempts:      3,
+			Hedge:            true,
+			HedgeThreshold:   8,
+			BreakerThreshold: 4,
+			FallbackPolicy:   "CPU",
+		},
+	})
+	if err := srv.RegisterCompiled("serving", c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	chans := make([]<-chan *conduit.Response, 0, wave)
+	for submitted := 0; submitted < b.N; {
+		n := wave
+		if rest := b.N - submitted; rest < n {
+			n = rest
+		}
+		chans = chans[:0]
+		for i := 0; i < n; i++ {
+			ch, err := srv.Submit(conduit.Request{
+				Tenant:   "bench",
+				Workload: "serving",
+				Policy:   servePolicies[(submitted+i)%len(servePolicies)],
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans = append(chans, ch)
+		}
+		for _, ch := range chans {
+			if resp := <-ch; resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+		submitted += n
+	}
+	b.StopTimer()
+	srv.Drain()
+}
+
 func BenchmarkServePooled(b *testing.B) {
 	cfg := conduit.DefaultConfig()
 	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)
