@@ -16,12 +16,15 @@ test:
 # test-oracle runs the differential suites that pin the fast engine to
 # its reference implementations under the race detector: the sim
 # package's property/differential tests (bucket engine vs heap engine,
-# ReserveBatch vs Reserve loop, via internal/sim/simtest) and the
+# ReserveBatch vs Reserve loop, via internal/sim/simtest), the
 # top-level golden identity tests (timing-only fast path vs functional
-# reference system, byte for byte).
+# reference system, byte for byte), and the wire tier's multi-process
+# equivalence harness (routed fleet vs in-process Server.Submit, byte
+# for byte, plus drain-under-traffic and fault-replay determinism).
 test-oracle:
 	go test -race ./internal/sim/...
 	go test -race -run 'FastVsReference|ToReference' .
+	go test -race ./internal/wire ./internal/router ./internal/wiretest
 
 race:
 	go test -race ./...

@@ -1,0 +1,368 @@
+// Command conduit-router is the front end of the conduit wire tier: it
+// dials a fleet of conduit-target processes, places workloads onto them
+// by consistent hashing (each workload's home target keeps its device
+// pools and memoized results hot), drives an open-loop generated load
+// through the fleet, and merges per-target accounting into one
+// fleet-wide report with exact p50/p99/p999.
+//
+// The recovery ladder of cmd/conduit-serve is lifted across process
+// boundaries: -retries walks the hash ring's failover order when a
+// target errors or drains, -hedge duplicates straggling requests to the
+// next target after -hedgeafter, and -breaker N opens a per-target
+// circuit breaker after N consecutive failures (cooldown counted in
+// refused requests, so trips replay deterministically).
+//
+// Usage:
+//
+//	conduit-target -listen 127.0.0.1:9071 &   # start a fleet first
+//	conduit-target -listen 127.0.0.1:9072 &
+//	conduit-router -targets 127.0.0.1:9071,127.0.0.1:9072 \
+//	    -open 400 -duration 3s -retries 3 -breaker 4
+//
+// -benchjson FILE merges the routed-fleet throughput and latency
+// results into a conduit-bench/v1 record (creating it if absent) —
+// scripts/bench.sh uses this for the committed BENCH_pr9.json.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"conduit/internal/histo"
+	"conduit/internal/loadgen"
+	"conduit/internal/router"
+	"conduit/internal/stats"
+	"conduit/internal/wire"
+	"conduit/internal/workloads"
+)
+
+func main() {
+	targets := flag.String("targets", "", "comma-separated target addresses to dial (required)")
+	mix := flag.String("mix", "all", `comma-separated workload mix, or "all" for every workload the fleet serves`)
+	policies := flag.String("policies", "Conduit", "comma-separated policy mix requests draw from")
+	tenants := flag.Int("tenants", 4, "tenants the requests round-robin across")
+	seed := flag.Uint64("seed", 1, "load-generator root RNG seed")
+	open := flag.Float64("open", 200, "open-loop offered load in req/s")
+	arrival := flag.String("arrival", "poisson", "arrival process: poisson, burst, diurnal")
+	duration := flag.Duration("duration", 2*time.Second, "load-generation window")
+	slo := flag.Duration("slo", 0, "per-request deadline (0 = none)")
+	retries := flag.Int("retries", 3, "max attempts per request across the failover order")
+	hedge := flag.Bool("hedge", false, "hedge straggling requests on the next target")
+	hedgeafter := flag.Duration("hedgeafter", 50*time.Millisecond, "straggler patience before a hedge")
+	breaker := flag.Int("breaker", 0, "per-target breaker consecutive-failure threshold (0 disables)")
+	cooldown := flag.Int("cooldown", 8, "requests an open breaker refuses before a half-open probe")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per target on the hash ring (0 = default)")
+	drain := flag.Bool("drain", true, "drain the targets when the run ends")
+	benchjson := flag.String("benchjson", "", "merge routed-fleet results into the conduit-bench/v1 record at `file`")
+	flag.Parse()
+
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "conduit-router: -targets is required")
+		os.Exit(2)
+	}
+	var clients []*router.Client
+	for _, addr := range strings.Split(*targets, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		c, err := router.Dial(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-router: %v\n", err)
+			os.Exit(1)
+		}
+		clients = append(clients, c)
+		fmt.Printf("target %s @ %s: %d workload(s), %d shard(s)\n",
+			c.Name(), addr, len(c.Workloads()), c.Shards())
+	}
+
+	// Resolve the workload mix against what the fleet actually serves:
+	// the intersection of every target's advertised suite (placement
+	// assumes any target can serve any workload — the CODA-style
+	// co-location contract).
+	serveable := intersect(clients)
+	if len(serveable) == 0 {
+		fmt.Fprintln(os.Stderr, "conduit-router: targets share no workload")
+		os.Exit(2)
+	}
+	var names []string
+	if *mix == "all" {
+		names = serveable
+	} else {
+		set := make(map[string]bool, len(serveable))
+		for _, w := range serveable {
+			set[w] = true
+		}
+		for _, w := range strings.Split(*mix, ",") {
+			w = strings.TrimSpace(w)
+			// Canonicalize aliases ("aes" -> "AES") the way targets
+			// register them, so the mix matches the advertised suite.
+			if reg, ok := workloads.Find(w, 1); ok {
+				w = reg.Name
+			}
+			if !set[w] {
+				fmt.Fprintf(os.Stderr, "conduit-router: fleet does not serve workload %q\n", w)
+				os.Exit(2)
+			}
+			names = append(names, w)
+		}
+	}
+
+	rt, err := router.New(clients, router.Options{
+		Retries:          *retries,
+		Hedge:            *hedge,
+		HedgeAfter:       *hedgeafter,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *cooldown,
+		Vnodes:           *vnodes,
+		Clock:            router.Clock{Now: time.Now, After: time.After},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conduit-router: %v\n", err)
+		os.Exit(1)
+	}
+	for _, w := range names {
+		fmt.Printf("  %-22s -> %s\n", w, rt.Home(w))
+	}
+
+	schedule, err := loadgen.Generate(loadgen.Spec{
+		Arrival: *arrival, QPS: *open, Duration: *duration,
+		Seed: *seed, Tenants: *tenants,
+		Workloads: names, Policies: strings.Split(*policies, ","), SLO: *slo,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conduit-router: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("offering %g req/s (%s arrivals, %d events) for %v across %d target(s)\n\n",
+		*open, *arrival, len(schedule), *duration, len(clients))
+
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		tally  = map[wire.Code]int64{}
+		lost   int64
+		byWhom = map[string]int64{}
+	)
+	start := time.Now()
+	loadgen.Replay(schedule, 1, func(ev loadgen.Event) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, name, err := rt.Do(wire.Request{
+				Tenant: ev.Tenant, Workload: ev.Workload, Policy: ev.Policy,
+				DeadlineNS: int64(ev.Deadline),
+			})
+			mu.Lock()
+			if err != nil {
+				lost++
+			} else {
+				tally[resp.Code]++
+				byWhom[name]++
+			}
+			mu.Unlock()
+		}()
+	})
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fleet, missing := rt.Snapshot()
+	printReport(rt, fleet, missing, tally, lost, byWhom, len(schedule), elapsed)
+
+	if *benchjson != "" {
+		if err := mergeBenchJSON(*benchjson, len(clients), len(schedule), elapsed, tally, rt.Wall(), fleet.Wall); err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-router: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged routed-fleet results -> %s\n", *benchjson)
+	}
+
+	if *drain {
+		acks := rt.DrainAll()
+		ackNames := make([]string, 0, len(acks))
+		for name := range acks {
+			ackNames = append(ackNames, name)
+		}
+		sort.Strings(ackNames)
+		for _, name := range ackNames {
+			leaked := int64(0)
+			for _, p := range acks[name].Pools {
+				if !p.Closed {
+					leaked++
+				}
+			}
+			fmt.Printf("drained %s: %d pool(s), %d unclosed\n", name, len(acks[name].Pools), leaked)
+		}
+	}
+	rt.Close()
+}
+
+// intersect returns the sorted workloads every target advertises.
+func intersect(clients []*router.Client) []string {
+	count := make(map[string]int)
+	for _, c := range clients {
+		for _, w := range c.Workloads() {
+			count[w]++
+		}
+	}
+	var out []string
+	for w, n := range count {
+		if n == len(clients) {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printReport(rt *router.Router, fleet router.Fleet, missing []string,
+	tally map[wire.Code]int64, lost int64, byWhom map[string]int64, offered int, elapsed time.Duration) {
+
+	ft := stats.NewTable("fleet report (merged per-target accounting)",
+		"tenant", "requests", "errors", "shed", "expired", "shared",
+		"retries", "hedges", "fallback", "sim_ms", "energy_J")
+	for _, row := range fleet.Tenants {
+		ft.AddRowf(row.Tenant, row.Requests, row.Errors, row.Shed, row.Expired, row.Shared,
+			row.Recovery.Retries, row.Recovery.Hedges, row.Recovery.Fallbacks,
+			fmt.Sprintf("%.3f", float64(row.SimNS)/1e6),
+			fmt.Sprintf("%.3f", row.EnergyJ))
+	}
+	ft.Render(os.Stdout)
+	fmt.Println()
+
+	s := rt.Stats()
+	rtab := stats.NewTable("router recovery", "metric", "value")
+	rtab.AddRowf("requests", s.Requests)
+	rtab.AddRowf("attempts", s.Attempts)
+	rtab.AddRowf("retries", s.Retries)
+	rtab.AddRowf("hedges", s.Hedges)
+	rtab.AddRowf("hedge_wins", s.HedgeWins)
+	rtab.AddRowf("breaker_refusals", s.Refusals)
+	rtab.AddRowf("transport_lost", lost)
+	rtab.AddRowf("ok", tally[wire.CodeOK])
+	rtab.AddRowf("overloaded", tally[wire.CodeOverloaded])
+	rtab.AddRowf("deadline", tally[wire.CodeDeadline])
+	rtab.AddRowf("errors", tally[wire.CodeError]+tally[wire.CodeDraining]+tally[wire.CodeCircuitOpen]+tally[wire.CodeBadRequest])
+	rtab.AddRowf("throughput_rps", fmt.Sprintf("%.1f", float64(offered)/elapsed.Seconds()))
+	rtab.Render(os.Stdout)
+	fmt.Println()
+
+	names := make([]string, 0, len(byWhom))
+	for name := range byWhom {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pt := stats.NewTable("placement", "target", "responses")
+	for _, name := range names {
+		pt.AddRowf(name, byWhom[name])
+	}
+	pt.Render(os.Stdout)
+	fmt.Println()
+
+	lt := stats.NewTable("latency (ms)", "histogram", "count", "p50", "p99", "p999", "max")
+	addLat := func(name string, h *histo.Histogram) {
+		lt.AddRowf(name, h.Count(),
+			fmt.Sprintf("%.3f", float64(h.P50())/1e6),
+			fmt.Sprintf("%.3f", float64(h.P99())/1e6),
+			fmt.Sprintf("%.3f", float64(h.P999())/1e6),
+			fmt.Sprintf("%.3f", float64(h.Max())/1e6))
+	}
+	addLat("router end-to-end", rt.Wall())
+	addLat("fleet (merged targets)", fleet.Wall)
+	for _, snap := range fleet.Targets {
+		if snap.Wall != nil {
+			addLat("target "+snap.Target, snap.Wall)
+		}
+	}
+	lt.Render(os.Stdout)
+	if len(missing) > 0 {
+		fmt.Printf("\nWARNING: no snapshot from: %s\n", strings.Join(missing, ", "))
+	}
+	fmt.Println()
+
+	if brs := rt.Breakers(); len(brs) > 0 {
+		bt := stats.NewTable("per-target circuit breakers", "target", "state", "trips")
+		for _, b := range brs {
+			bt.AddRowf(b.Name, b.State.String(), b.Trips)
+		}
+		bt.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// benchResult / benchFile mirror the conduit-bench/v1 schema written by
+// cmd/experiments; mergeBenchJSON appends the routed-fleet entries to an
+// existing record (or starts a fresh one) so one BENCH_prN.json carries
+// both the data-plane and the wire-tier trajectory.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+type benchFile struct {
+	Schema  string            `json:"schema"`
+	Scale   int               `json:"scale"`
+	GoArch  string            `json:"goarch"`
+	Benches []benchResult     `json:"benches"`
+	Derived map[string]string `json:"derived"`
+}
+
+func mergeBenchJSON(path string, nTargets, offered int, elapsed time.Duration,
+	tally map[wire.Code]int64, routerWall, fleetWall *histo.Histogram) error {
+
+	bf := benchFile{Schema: "conduit-bench/v1", GoArch: runtime.GOARCH, Derived: map[string]string{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("existing %s: %w", path, err)
+		}
+		if bf.Schema != "conduit-bench/v1" {
+			return fmt.Errorf("existing %s has schema %q", path, bf.Schema)
+		}
+		if bf.Derived == nil {
+			bf.Derived = map[string]string{}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+
+	prefix := fmt.Sprintf("wire/routed-open-loop-%dx", nTargets)
+	// Drop stale entries from a previous run of the same fleet shape so
+	// the merge is idempotent.
+	kept := bf.Benches[:0]
+	for _, b := range bf.Benches {
+		if !strings.HasPrefix(b.Name, prefix) {
+			kept = append(kept, b)
+		}
+	}
+	bf.Benches = kept
+	bf.Benches = append(bf.Benches, benchResult{
+		Name:       prefix + "/request",
+		Iterations: offered,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(max(offered, 1)),
+	})
+	bf.Derived[prefix+"/throughput_rps"] = fmt.Sprintf("%.1f", float64(offered)/elapsed.Seconds())
+	bf.Derived[prefix+"/ok"] = fmt.Sprintf("%d", tally[wire.CodeOK])
+	bf.Derived[prefix+"/router_p50_ms"] = fmt.Sprintf("%.3f", float64(routerWall.P50())/1e6)
+	bf.Derived[prefix+"/router_p99_ms"] = fmt.Sprintf("%.3f", float64(routerWall.P99())/1e6)
+	bf.Derived[prefix+"/router_p999_ms"] = fmt.Sprintf("%.3f", float64(routerWall.P999())/1e6)
+	bf.Derived[prefix+"/fleet_p99_ms"] = fmt.Sprintf("%.3f", float64(fleetWall.P99())/1e6)
+	bf.Derived[prefix+"/fleet_p999_ms"] = fmt.Sprintf("%.3f", float64(fleetWall.P999())/1e6)
+
+	out, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

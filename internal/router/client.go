@@ -1,0 +1,227 @@
+package router
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"conduit/internal/wire"
+)
+
+// A Client is one target connection: it multiplexes concurrent
+// requests over a single framed TCP stream, correlating out-of-order
+// responses by ID. A transport or protocol error is sticky — every
+// pending and future call fails, and the router fails the target over.
+type Client struct {
+	addr  string
+	conn  net.Conn
+	hello wire.Hello
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.Frame
+	err     error
+	closed  bool
+}
+
+// Dial connects to a target and consumes its Hello frame.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (the target side speaks
+// first with Hello) and starts the response dispatcher.
+func NewClient(conn net.Conn) (*Client, error) {
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("router: reading hello: %w", err)
+	}
+	hello, ok := f.(wire.Hello)
+	if !ok {
+		conn.Close()
+		return nil, fmt.Errorf("router: target opened with %T, want Hello", f)
+	}
+	c := &Client{
+		addr:    conn.RemoteAddr().String(),
+		conn:    conn,
+		hello:   hello,
+		pending: make(map[uint64]chan wire.Frame),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Name is the target's self-reported name from Hello.
+func (c *Client) Name() string { return c.hello.Target }
+
+// Addr is the remote address of the connection.
+func (c *Client) Addr() string { return c.addr }
+
+// Workloads lists the workloads the target's Hello advertised.
+func (c *Client) Workloads() []string { return append([]string(nil), c.hello.Workloads...) }
+
+// Shards is the target's advertised shard count per workload.
+func (c *Client) Shards() int64 { return c.hello.Shards }
+
+// Err returns the sticky transport error, or nil while healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears the connection down; pending calls fail with "closed".
+func (c *Client) Close() { c.fail(fmt.Errorf("router: client closed")) }
+
+func (c *Client) readLoop() {
+	for {
+		f, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("router: target %s: %w", c.hello.Target, err))
+			return
+		}
+		var id uint64
+		switch fr := f.(type) {
+		case wire.Response:
+			id = fr.ID
+		case wire.Snapshot:
+			id = fr.ID
+		case wire.DrainAck:
+			id = fr.ID
+		default:
+			c.fail(fmt.Errorf("router: target %s sent unexpected %T", c.hello.Target, f))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f // buffered; never blocks the dispatcher
+		}
+	}
+}
+
+// fail makes err sticky, closes every pending channel (closure — not a
+// frame — is the "target gone" signal), and closes the socket.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pending := c.pending
+	c.pending = make(map[uint64]chan wire.Frame)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	c.conn.Close()
+}
+
+// start registers a fresh ID, stamps it into the frame via stamp, and
+// writes the frame. The returned channel yields exactly one reply frame
+// — or closes if the connection dies first.
+func (c *Client) start(stamp func(id uint64) wire.Frame) (<-chan wire.Frame, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan wire.Frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.conn, stamp(id))
+	c.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("router: target %s: %w", c.hello.Target, err)
+		c.fail(err)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Submit sends a request (its ID field is assigned here) and returns
+// the channel its response will arrive on.
+func (c *Client) Submit(req wire.Request) (<-chan wire.Frame, error) {
+	return c.start(func(id uint64) wire.Frame { req.ID = id; return req })
+}
+
+// AwaitResponse resolves a Submit channel into the response, turning a
+// closed channel into the client's sticky error.
+func (c *Client) AwaitResponse(ch <-chan wire.Frame) (wire.Response, error) {
+	f, ok := <-ch
+	if !ok {
+		return wire.Response{}, c.Err()
+	}
+	resp, ok := f.(wire.Response)
+	if !ok {
+		err := fmt.Errorf("router: target %s answered a request with %T", c.hello.Target, f)
+		c.fail(err)
+		return wire.Response{}, err
+	}
+	return resp, nil
+}
+
+// Do is Submit + AwaitResponse.
+func (c *Client) Do(req wire.Request) (wire.Response, error) {
+	ch, err := c.Submit(req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return c.AwaitResponse(ch)
+}
+
+// Snapshot fetches the target's current accounting snapshot.
+func (c *Client) Snapshot() (wire.Snapshot, error) {
+	ch, err := c.start(func(id uint64) wire.Frame { return wire.SnapshotReq{ID: id} })
+	if err != nil {
+		return wire.Snapshot{}, err
+	}
+	f, ok := <-ch
+	if !ok {
+		return wire.Snapshot{}, c.Err()
+	}
+	snap, ok := f.(wire.Snapshot)
+	if !ok {
+		err := fmt.Errorf("router: target %s answered SnapshotReq with %T", c.hello.Target, f)
+		c.fail(err)
+		return wire.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// Drain asks the target to drain and waits for its acknowledgement
+// with the final pool counters. The connection is dead afterwards.
+func (c *Client) Drain() (wire.DrainAck, error) {
+	ch, err := c.start(func(id uint64) wire.Frame { return wire.Drain{ID: id} })
+	if err != nil {
+		return wire.DrainAck{}, err
+	}
+	f, ok := <-ch
+	if !ok {
+		return wire.DrainAck{}, c.Err()
+	}
+	ack, ok := f.(wire.DrainAck)
+	if !ok {
+		err := fmt.Errorf("router: target %s answered Drain with %T", c.hello.Target, f)
+		c.fail(err)
+		return wire.DrainAck{}, err
+	}
+	c.fail(fmt.Errorf("router: target %s drained", c.hello.Target))
+	return ack, nil
+}

@@ -1,0 +1,108 @@
+package router
+
+import (
+	"reflect"
+	"testing"
+
+	"conduit/internal/wire"
+)
+
+func TestRingOrderCoversEveryTargetOnce(t *testing.T) {
+	targets := []string{"t0", "t1", "t2", "t3"}
+	r, err := NewRing(targets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"AES", "jacobi-1d", "heat-3d", "", "LLM Training"} {
+		order := r.Order(key)
+		if len(order) != len(targets) {
+			t.Fatalf("Order(%q) = %v, want every target exactly once", key, order)
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if idx < 0 || idx >= len(targets) || seen[idx] {
+				t.Fatalf("Order(%q) = %v: bad or repeated index %d", key, order, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestRingIsDeterministicAndOrderIndependent(t *testing.T) {
+	// Placement is a pure function of (target set, key): shuffling the
+	// registration order or rebuilding the ring must not move any
+	// workload's home target.
+	a, err := NewRing([]string{"t0", "t1", "t2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"t2", "t0", "t1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"AES", "XOR Filter", "jacobi-1d", "heat-3d"} {
+		got := b.Targets()[b.Home(key)]
+		want := a.Targets()[a.Home(key)]
+		if got != want {
+			t.Errorf("Home(%q) depends on registration order: %s vs %s", key, got, want)
+		}
+		if !reflect.DeepEqual(a.Order(key), a.Order(key)) {
+			t.Errorf("Order(%q) is not stable across calls", key)
+		}
+	}
+}
+
+func TestRingKeysSurviveTargetRemoval(t *testing.T) {
+	// The point of consistent hashing: dropping one target of four moves
+	// only the keys it owned, never keys homed elsewhere.
+	full, err := NewRing([]string{"t0", "t1", "t2", "t3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"t0", "t1", "t2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"AES", "XOR Filter", "jacobi-1d", "heat-3d", "LlaMA2 Inference", "LLM Training"}
+	for _, key := range keys {
+		home := full.Targets()[full.Home(key)]
+		if home == "t3" {
+			continue // owned by the removed target; allowed to move
+		}
+		if got := reduced.Targets()[reduced.Home(key)]; got != home {
+			t.Errorf("removing t3 moved %q from %s to %s", key, home, got)
+		}
+	}
+}
+
+func TestNewRingRejectsBadFleets(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewRing([]string{"t0", "t0"}, 0); err == nil {
+		t.Error("duplicate target name accepted")
+	}
+}
+
+func TestMergeTenantsSumsAndSorts(t *testing.T) {
+	a := []wire.TenantRow{
+		{Tenant: "b", Requests: 2, Attained: 2, SimNS: 30, EnergyJ: 1.5, Recovery: wire.Recovery{Attempts: 2}},
+		{Tenant: "a", Requests: 1, Attained: 1, SimNS: 10},
+	}
+	b := []wire.TenantRow{
+		{Tenant: "b", Requests: 3, Errors: 1, Shed: 1, Attained: 1, SimNS: 20, EnergyJ: 0.5, Recovery: wire.Recovery{Attempts: 3, Retries: 1}},
+		{Tenant: "c", Requests: 4, Attained: 4, SimNS: 40},
+	}
+	got := MergeTenants(a, b)
+	want := []wire.TenantRow{
+		{Tenant: "a", Requests: 1, Attained: 1, SimNS: 10},
+		{Tenant: "b", Requests: 5, Errors: 1, Shed: 1, Attained: 3, SimNS: 50, EnergyJ: 2, Recovery: wire.Recovery{Attempts: 5, Retries: 1}},
+		{Tenant: "c", Requests: 4, Attained: 4, SimNS: 40},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeTenants:\ngot  %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(MergeTenants(b, a), want) {
+		t.Error("MergeTenants is not commutative")
+	}
+}

@@ -1,0 +1,397 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"conduit/internal/faultinject"
+	"conduit/internal/histo"
+	"conduit/internal/wire"
+)
+
+// Clock is the router's only source of wall time, injected by the
+// caller: cmd/conduit-router passes the real clock, deterministic
+// tests pass fakes or leave it zero. With Now nil the router records
+// no wall latency; with After nil it never hedges. This package calls
+// no time.* function directly — that is the conduitlint nondeterm
+// contract, kept without an allowlist entry.
+type Clock struct {
+	Now   func() time.Time
+	After func(time.Duration) <-chan time.Time
+}
+
+// Options tunes a Router.
+type Options struct {
+	// Retries is the maximum attempts per request, walking the ring
+	// preference order (home, then successors, wrapping). < 1 means one
+	// attempt: pure home placement, no failover.
+	Retries int
+	// Hedge duplicates a straggling request to the next target in the
+	// preference order after HedgeAfter; the first response wins.
+	// Requires Clock.After.
+	Hedge bool
+	// HedgeAfter is the straggler patience; <= 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold opens a target's circuit breaker after this many
+	// consecutive failures (0 disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how many refused requests an open breaker eats
+	// before letting a half-open probe through; < 1 selects 1. Counted
+	// in requests, not wall time, so breaker trips replay exactly.
+	BreakerCooldown int
+	// Vnodes overrides the ring's virtual-node fan-out (0 = default).
+	Vnodes int
+	// Clock supplies wall time for latency recording and hedge timers.
+	Clock Clock
+}
+
+// Stats counts the router's recovery activity — the cross-process
+// mirror of serve.Recovery.
+type Stats struct {
+	// Requests counts calls to Do.
+	Requests int64
+	// Attempts counts request submissions to targets, including hedges.
+	Attempts int64
+	// Retries counts failover re-submissions after a failed attempt.
+	Retries int64
+	// Hedges counts duplicate dispatches to a successor target.
+	Hedges int64
+	// HedgeWins counts hedges whose duplicate answered first.
+	HedgeWins int64
+	// Refusals counts attempts short-circuited by an open breaker.
+	Refusals int64
+}
+
+// ErrNoTargets is returned by Do when every attempt was refused or
+// failed at the transport before any target produced a response.
+var ErrNoTargets = errors.New("router: no target answered")
+
+// ErrBreakerOpen marks attempts refused by a router-side per-target
+// circuit breaker (distinct from wire.CodeCircuitOpen, which is a
+// target-side per-shard breaker refusing).
+var ErrBreakerOpen = errors.New("router: target breaker open")
+
+// Router places requests across a fleet of target clients.
+type Router struct {
+	clients  []*Client
+	ring     *Ring
+	breakers *faultinject.BreakerSet
+	opts     Options
+
+	mu    sync.Mutex
+	stats Stats
+	wall  *histo.Histogram // router-observed request latency (needs Clock.Now)
+}
+
+// New builds a router over connected clients. Target names (from their
+// Hello frames) must be distinct; they are the ring's keys and the
+// breakers' names.
+func New(clients []*Client, opts Options) (*Router, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("router: need at least one target")
+	}
+	names := make([]string, len(clients))
+	for i, c := range clients {
+		names[i] = c.Name()
+	}
+	ring, err := NewRing(names, opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{clients: clients, ring: ring, opts: opts, wall: histo.New()}
+	if opts.BreakerThreshold > 0 {
+		cooldown := opts.BreakerCooldown
+		if cooldown < 1 {
+			cooldown = 1
+		}
+		r.breakers = faultinject.NewBreakerSet(opts.BreakerThreshold, cooldown)
+	}
+	return r, nil
+}
+
+// Targets returns the fleet's target names in client order.
+func (r *Router) Targets() []string { return r.ring.Targets() }
+
+// Home names the target a workload hashes to.
+func (r *Router) Home(workload string) string {
+	return r.clients[r.ring.Home(workload)].Name()
+}
+
+// retryable reports whether an attempt outcome should fail over to the
+// next target. Transport errors, target-internal errors, draining, and
+// target-side open breakers are the target's problem — walk the ring.
+// Overload, deadline expiry, and bad requests are properties of the
+// request or the offered load; replaying them elsewhere would let the
+// fleet overdrive the very admission control being measured.
+func retryable(resp wire.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	switch resp.Code {
+	case wire.CodeError, wire.CodeDraining, wire.CodeCircuitOpen:
+		return true
+	}
+	return false
+}
+
+// Do routes one request: home target first, ring successors on
+// retryable failure, an optional hedge against stragglers. It returns
+// the winning response and the name of the target that produced it.
+// The error is non-nil only when no target produced a response at all.
+func (r *Router) Do(req wire.Request) (wire.Response, string, error) {
+	var start time.Time
+	if r.opts.Clock.Now != nil {
+		start = r.opts.Clock.Now()
+	}
+	resp, name, err := r.route(req)
+	if r.opts.Clock.Now != nil {
+		r.mu.Lock()
+		r.wall.Add(int64(r.opts.Clock.Now().Sub(start)))
+		r.mu.Unlock()
+	}
+	return resp, name, err
+}
+
+func (r *Router) route(req wire.Request) (wire.Response, string, error) {
+	r.mu.Lock()
+	r.stats.Requests++
+	r.mu.Unlock()
+
+	order := r.ring.Order(req.Workload)
+	attempts := r.opts.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var (
+		lastResp wire.Response
+		lastName string
+		lastErr  error
+		answered bool
+	)
+	for attempt := 0; attempt < attempts; attempt++ {
+		c := r.clients[order[attempt%len(order)]]
+		if r.breakers != nil && !r.breakers.Get(c.Name()).Allow() {
+			r.mu.Lock()
+			r.stats.Refusals++
+			r.mu.Unlock()
+			if lastErr == nil && !answered {
+				lastErr = fmt.Errorf("target %s: %w", c.Name(), ErrBreakerOpen)
+			}
+			continue
+		}
+		if attempt > 0 {
+			r.mu.Lock()
+			r.stats.Retries++
+			r.mu.Unlock()
+		}
+		resp, err := r.attempt(c, req, order, attempt)
+		if err == nil {
+			answered = true
+			lastResp, lastName, lastErr = resp, c.Name(), nil
+		} else if !answered {
+			lastErr = err
+		}
+		if r.breakers != nil {
+			b := r.breakers.Get(c.Name())
+			if retryable(resp, err) {
+				b.Failure()
+			} else {
+				b.Success()
+			}
+		}
+		if !retryable(resp, err) {
+			return resp, c.Name(), nil
+		}
+	}
+	if answered {
+		// Every attempt failed retryably but at least one target did
+		// answer: surface that final response (e.g. the injected-fault
+		// error after the ladder is exhausted).
+		return lastResp, lastName, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoTargets
+	}
+	return wire.Response{}, "", fmt.Errorf("%w: %v", ErrNoTargets, lastErr)
+}
+
+// attempt submits to one target, optionally racing a hedge on the next
+// distinct target in the preference order.
+func (r *Router) attempt(c *Client, req wire.Request, order []int, attempt int) (wire.Response, error) {
+	r.mu.Lock()
+	r.stats.Attempts++
+	r.mu.Unlock()
+	ch, err := c.Submit(req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	hedging := r.opts.Hedge && r.opts.HedgeAfter > 0 && r.opts.Clock.After != nil && len(order) > 1
+	if !hedging {
+		return c.AwaitResponse(ch)
+	}
+	select {
+	case f, ok := <-ch:
+		return resolveResponse(c, f, ok)
+	case <-r.opts.Clock.After(r.opts.HedgeAfter):
+	}
+	// Primary is straggling: duplicate to the next distinct target.
+	hc := r.clients[order[(attempt+1)%len(order)]]
+	r.mu.Lock()
+	r.stats.Hedges++
+	r.stats.Attempts++
+	r.mu.Unlock()
+	hch, herr := hc.Submit(req)
+	if herr != nil {
+		return c.AwaitResponse(ch) // hedge stillborn; wait out the primary
+	}
+	select {
+	case f, ok := <-ch:
+		return resolveResponse(c, f, ok)
+	case f, ok := <-hch:
+		resp, err := resolveResponse(hc, f, ok)
+		if err == nil {
+			r.mu.Lock()
+			r.stats.HedgeWins++
+			r.mu.Unlock()
+		}
+		return resp, err
+	}
+}
+
+func resolveResponse(c *Client, f wire.Frame, ok bool) (wire.Response, error) {
+	if !ok {
+		err := c.Err()
+		if err == nil {
+			err = fmt.Errorf("router: target %s: connection lost", c.Name())
+		}
+		return wire.Response{}, err
+	}
+	resp, isResp := f.(wire.Response)
+	if !isResp {
+		return wire.Response{}, fmt.Errorf("router: target %s answered a request with %T", c.Name(), f)
+	}
+	return resp, nil
+}
+
+// Stats returns a copy of the recovery counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Wall returns a clone of the router-observed request-latency
+// histogram (empty unless a Clock.Now was injected).
+func (r *Router) Wall() *histo.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wall.Clone()
+}
+
+// Breakers reports per-target breaker states, sorted by target name;
+// empty when breakers are disabled.
+func (r *Router) Breakers() []faultinject.BreakerStatus {
+	if r.breakers == nil {
+		return nil
+	}
+	return r.breakers.Snapshot()
+}
+
+// Fleet is the merged view of every target's snapshot.
+type Fleet struct {
+	// Targets holds the raw per-target snapshots, in client order.
+	Targets []wire.Snapshot
+	// Tenants is the exact sum of per-target tenant rows, sorted by
+	// tenant name.
+	Tenants []wire.TenantRow
+	// Wall is the exact merge of per-target wall-latency histograms —
+	// fleet-wide p50/p99/p999 come from here.
+	Wall *histo.Histogram
+}
+
+// Snapshot polls every live target and merges. Targets that fail to
+// answer (e.g. killed mid-run) are skipped; their name is listed in
+// missing.
+func (r *Router) Snapshot() (fleet Fleet, missing []string) {
+	fleet.Wall = histo.New()
+	for _, c := range r.clients {
+		snap, err := c.Snapshot()
+		if err != nil {
+			missing = append(missing, c.Name())
+			continue
+		}
+		fleet.Targets = append(fleet.Targets, snap)
+		if snap.Wall != nil {
+			fleet.Wall.Merge(snap.Wall)
+		}
+	}
+	rowSets := make([][]wire.TenantRow, len(fleet.Targets))
+	for i, snap := range fleet.Targets {
+		rowSets[i] = snap.Tenants
+	}
+	fleet.Tenants = MergeTenants(rowSets...)
+	return fleet, missing
+}
+
+// DrainAll drains every live target in client order and returns their
+// acknowledgements (final pool counters) keyed by target name.
+func (r *Router) DrainAll() map[string]wire.DrainAck {
+	acks := make(map[string]wire.DrainAck)
+	for _, c := range r.clients {
+		if ack, err := c.Drain(); err == nil {
+			acks[c.Name()] = ack
+		}
+	}
+	return acks
+}
+
+// Close tears down every client connection without draining targets.
+func (r *Router) Close() {
+	for _, c := range r.clients {
+		c.Close()
+	}
+}
+
+// MergeTenants sums tenant rows across targets: every counter,
+// recovery total, simulated time, and energy adds exactly, and the
+// result is sorted by tenant name. Merging is associative and
+// commutative because addition is — the property the fleet report
+// tests pin.
+func MergeTenants(rowSets ...[]wire.TenantRow) []wire.TenantRow {
+	acc := make(map[string]wire.TenantRow)
+	for _, rows := range rowSets {
+		for _, row := range rows {
+			t := acc[row.Tenant]
+			t.Tenant = row.Tenant
+			t.Requests += row.Requests
+			t.Errors += row.Errors
+			t.Shed += row.Shed
+			t.Expired += row.Expired
+			t.Shared += row.Shared
+			t.Attained += row.Attained
+			t.Recovery.Attempts += row.Recovery.Attempts
+			t.Recovery.Retries += row.Recovery.Retries
+			t.Recovery.Hedges += row.Recovery.Hedges
+			t.Recovery.HedgeWins += row.Recovery.HedgeWins
+			t.Recovery.Fallbacks += row.Recovery.Fallbacks
+			t.Recovery.Injected += row.Recovery.Injected
+			t.Recovery.BackoffSimNS += row.Recovery.BackoffSimNS
+			t.SimNS += row.SimNS
+			t.EnergyJ += row.EnergyJ
+			acc[row.Tenant] = t
+		}
+	}
+	names := make([]string, 0, len(acc))
+	for name := range acc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]wire.TenantRow, len(names))
+	for i, name := range names {
+		out[i] = acc[name]
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package target is the target half of the conduit wire tier: a TCP
+// server that exposes one conduit.Server — its registered workloads,
+// device pools, shard clusters, and PR8 recovery ladder — behind the
+// framed protocol of internal/wire. cmd/conduit-target is its thin
+// command wrapper; the wiretest harness spawns the same Main in child
+// processes to prove routed serving equivalent to in-process serving.
+//
+// A connection begins with a Hello frame naming the target and the
+// workloads it serves. Requests then dispatch through Server.Submit
+// (the open-loop path: admission shedding and deadline expiry behave
+// exactly as they do in process), and each response is written back as
+// an outcome capsule when its execution completes — out of order under
+// concurrency, correlated by request ID. SnapshotReq answers with the
+// per-tenant deterministic accounting rows plus the target's mergeable
+// wall-latency histogram; Drain (or SIGTERM/SIGINT) stops admission,
+// waits out in-flight requests, closes every pool, and acknowledges
+// with the final pool counters so the router can verify no fork
+// leaked.
+//
+// The conversion from a served conduit.Response to a wire.Response
+// (WireResponse) and from accounting snapshots to wire rows
+// (WireTenants, WirePools) lives here precisely so the equivalence
+// harness can apply the identical projection to an in-process server
+// and compare encodings byte for byte.
+package target

@@ -1,0 +1,468 @@
+package target
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	conduit "conduit"
+	"conduit/internal/serve"
+	"conduit/internal/wire"
+	"conduit/internal/workloads"
+)
+
+// Options configures one target process.
+type Options struct {
+	// Name identifies the target in Hello and Snapshot frames.
+	Name string
+	// Scale is the workload scale factor.
+	Scale int
+	// Shards registers every workload as an N-device cluster when > 1.
+	Shards int
+	// Mix selects the registered workloads; empty registers the whole
+	// evaluation suite.
+	Mix []string
+	// Serve tunes the wrapped conduit.Server (pools, batching, chaos,
+	// recovery ladder).
+	Serve conduit.ServeOptions
+	// FaultLogPath, when set, writes the injected-fault schedule as
+	// JSONL when the target drains.
+	FaultLogPath string
+}
+
+// Server is one running target: a conduit.Server behind a TCP
+// listener speaking the framed protocol.
+type Server struct {
+	opts  Options
+	srv   *conduit.Server
+	names []string // registered workloads, sorted
+	ln    net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+	draining bool
+
+	reqWG  sync.WaitGroup // in-flight request responders
+	connWG sync.WaitGroup // connection read loops
+	done   chan struct{}  // closed when the drain has fully completed
+}
+
+// New registers the configured workloads on a fresh conduit.Server and
+// binds the listener. Callers then run Serve (blocking) and eventually
+// Drain.
+func New(listen string, opts Options) (*Server, error) {
+	if opts.Name == "" {
+		opts.Name = "target"
+	}
+	if opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	var chosen []workloads.Named
+	if len(opts.Mix) == 0 {
+		chosen = workloads.All(opts.Scale)
+	} else {
+		seen := make(map[string]bool)
+		for _, name := range opts.Mix {
+			w, ok := workloads.Find(name, opts.Scale)
+			if !ok {
+				return nil, fmt.Errorf("target: unknown workload %q", name)
+			}
+			if seen[w.Name] {
+				continue
+			}
+			seen[w.Name] = true
+			chosen = append(chosen, w)
+		}
+	}
+	srv := conduit.NewServer(conduit.DefaultConfig(), opts.Serve)
+	names := make([]string, 0, len(chosen))
+	for _, w := range chosen {
+		var err error
+		if opts.Shards > 1 {
+			err = srv.RegisterSharded(w.Name, w.Source, opts.Shards)
+		} else {
+			err = srv.Register(w.Name, w.Source)
+		}
+		if err != nil {
+			srv.Drain()
+			return nil, fmt.Errorf("target: register %s: %v", w.Name, err)
+		}
+		names = append(names, w.Name)
+	}
+	sort.Strings(names)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		srv.Drain()
+		return nil, err
+	}
+	return &Server{
+		opts:  opts,
+		srv:   srv,
+		names: names,
+		ln:    ln,
+		conns: make(map[net.Conn]bool),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Addr is the bound listen address (resolves ":0" for harnesses).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Workloads lists the registered workload names, sorted.
+func (s *Server) Workloads() []string { return append([]string(nil), s.names...) }
+
+// Serve accepts connections until Drain closes the listener. It
+// returns after the drain has fully completed: every in-flight request
+// answered, every pool closed, every connection torn down.
+func (s *Server) Serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			break // listener closed by Drain
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+	<-s.done
+	s.connWG.Wait()
+}
+
+// Drain performs the graceful shutdown: stop accepting, reject new
+// requests with CodeDraining, wait out in-flight executions, close
+// every device pool, persist the fault log if configured, and finally
+// close every connection. Idempotent; concurrent callers all block
+// until the one drain completes.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		<-s.done
+		return
+	}
+	s.ln.Close()
+	// Drain the engine first: in-flight requests complete and their
+	// responder goroutines write the responses; reqWG then guarantees
+	// those writes happened before any connection is closed.
+	s.srv.Drain()
+	s.reqWG.Wait()
+	if s.opts.FaultLogPath != "" {
+		if log := s.srv.FaultLog(); log != nil {
+			// Best effort: a target dying on a full disk should still
+			// finish its drain.
+			_ = conduit.WriteFaultLog(s.opts.FaultLogPath, log)
+		}
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// PoolRows reports the server's device-pool counters as wire rows —
+// after Drain they are the "no leaked forks" evidence the DrainAck
+// carries.
+func (s *Server) PoolRows() []wire.PoolRow { return WirePools(s.srv.PoolStats()) }
+
+// conn wraps one connection with a write lock: request responders
+// complete concurrently and interleave whole frames, never bytes.
+type connState struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+func (c *connState) writeFrame(f wire.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.Conn, f)
+}
+
+func (s *Server) handleConn(raw net.Conn) {
+	defer s.connWG.Done()
+	c := &connState{Conn: raw}
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, raw)
+		s.mu.Unlock()
+		raw.Close()
+	}()
+	if err := c.writeFrame(wire.Hello{
+		Target:    s.opts.Name,
+		Shards:    int64(s.opts.Shards),
+		Workloads: s.names,
+	}); err != nil {
+		return
+	}
+	for {
+		f, err := wire.ReadFrame(c.Conn)
+		if err != nil {
+			return // peer gone, protocol violation, or drain closed us
+		}
+		switch fr := f.(type) {
+		case wire.Request:
+			s.handleRequest(c, fr)
+		case wire.SnapshotReq:
+			if err := c.writeFrame(s.snapshot(fr.ID)); err != nil {
+				return
+			}
+		case wire.Drain:
+			// Unregister this connection first so Drain's teardown loop
+			// does not close it out from under the ack; the deferred
+			// cleanup closes it after the ack is written.
+			s.mu.Lock()
+			delete(s.conns, raw)
+			s.mu.Unlock()
+			s.Drain()
+			_ = c.writeFrame(wire.DrainAck{ID: fr.ID, Pools: s.PoolRows()})
+			return
+		default:
+			// Targets never accept Hello/Response/Snapshot/DrainAck; a
+			// peer sending one is broken, so hang up.
+			return
+		}
+	}
+}
+
+// handleRequest validates and submits one request, answering from a
+// responder goroutine when the open-loop execution completes.
+func (s *Server) handleRequest(c *connState, req wire.Request) {
+	if code, msg := s.validate(req); code != wire.CodeOK {
+		_ = c.writeFrame(wire.Response{ID: req.ID, Code: code, Error: msg})
+		return
+	}
+	ch, err := s.srv.Submit(conduit.Request{
+		Tenant:   req.Tenant,
+		Workload: req.Workload,
+		Policy:   req.Policy,
+		Deadline: time.Duration(req.DeadlineNS),
+	})
+	if err != nil {
+		// Shed at admission or draining: answered inline, never executed.
+		_ = c.writeFrame(WireResponse(req.ID, nil, err))
+		return
+	}
+	s.reqWG.Add(1)
+	go func() {
+		defer s.reqWG.Done()
+		resp := <-ch
+		_ = c.writeFrame(WireResponse(req.ID, resp, resp.Err))
+	}()
+}
+
+// validate rejects requests the protocol can see are wrong before they
+// touch the serve engine (and its tenant accounting): unknown
+// workloads and policies, and shard-sets that do not name exactly the
+// shards this target owns. The shard-set field is placement metadata —
+// a future router may split a request across partial owners, but a
+// current target serves all its shards or none.
+func (s *Server) validate(req wire.Request) (wire.Code, string) {
+	if !s.serves(req.Workload) {
+		return wire.CodeBadRequest, fmt.Sprintf("target %s: workload %q not registered", s.opts.Name, req.Workload)
+	}
+	if !conduit.KnownPolicy(req.Policy) {
+		return wire.CodeBadRequest, fmt.Sprintf("target %s: unknown policy %q", s.opts.Name, req.Policy)
+	}
+	if len(req.Shards) > 0 {
+		if len(req.Shards) != s.opts.Shards {
+			return wire.CodeBadRequest, fmt.Sprintf("target %s: partial shard-set (%d of %d) unsupported",
+				s.opts.Name, len(req.Shards), s.opts.Shards)
+		}
+		seen := make(map[uint32]bool, len(req.Shards))
+		for _, sh := range req.Shards {
+			if int(sh) >= s.opts.Shards || seen[sh] {
+				return wire.CodeBadRequest, fmt.Sprintf("target %s: bad shard-set entry %d", s.opts.Name, sh)
+			}
+			seen[sh] = true
+		}
+	}
+	return wire.CodeOK, ""
+}
+
+func (s *Server) serves(workload string) bool {
+	i := sort.SearchStrings(s.names, workload)
+	return i < len(s.names) && s.names[i] == workload
+}
+
+// snapshot renders the server's current accounting as a wire frame.
+func (s *Server) snapshot(id uint64) wire.Snapshot {
+	return wire.Snapshot{
+		ID:      id,
+		Target:  s.opts.Name,
+		Tenants: WireTenants(s.srv.Tenants()),
+		Pools:   s.PoolRows(),
+		Wall:    s.srv.Latencies(),
+	}
+}
+
+// ---- projections shared with the equivalence harness ----
+
+// WireResponse projects one served response (or admission error) onto
+// its outcome capsule. The projection keeps only deterministic fields —
+// simulated elapsed time, energy, recovery accounting, and the result
+// summary — so the capsule for a request is identical whether the
+// serving engine ran in this process or across the wire, which is the
+// identity wiretest pins.
+func WireResponse(id uint64, resp *conduit.Response, err error) wire.Response {
+	out := wire.Response{ID: id}
+	if resp != nil {
+		out.ElapsedSimNS = int64(resp.Outcome.Elapsed)
+		out.EnergyJ = resp.Outcome.EnergyJ
+		out.Recovery = wireRecovery(resp.Outcome.Recovery)
+	}
+	if err != nil {
+		out.Code = codeFor(err)
+		msg := err.Error()
+		if msg == "" {
+			msg = "target: unspecified error"
+		}
+		if len(msg) > wire.MaxString {
+			msg = msg[:wire.MaxString]
+		}
+		out.Error = msg
+		return out
+	}
+	r := conduit.ResultOf(resp)
+	if r == nil {
+		out.Code = wire.CodeError
+		out.Error = "target: response carried no result"
+		return out
+	}
+	res := &wire.Result{
+		Policy:          r.Policy,
+		ComputeEnergyJ:  r.ComputeEnergy,
+		MovementEnergyJ: r.MovementEnergy,
+		OverheadNS:      int64(r.OverheadTime),
+		Decisions:       int64(len(r.Decisions)),
+	}
+	if r.InstLatencies != nil {
+		res.InstCount = int64(r.InstLatencies.Count())
+		res.InstMeanNS = int64(r.InstLatencies.Mean())
+	}
+	if r.Counters != nil {
+		for _, name := range r.Counters.Names() {
+			res.Counters = append(res.Counters, wire.Counter{Name: name, Value: r.Counters.Get(name)})
+		}
+	}
+	out.Code = wire.CodeOK
+	out.Result = res
+	return out
+}
+
+// codeFor maps the serving tier's typed errors onto response codes.
+func codeFor(err error) wire.Code {
+	switch {
+	case errors.Is(err, conduit.ErrOverloaded):
+		return wire.CodeOverloaded
+	case errors.Is(err, conduit.ErrDeadlineExceeded):
+		return wire.CodeDeadline
+	case errors.Is(err, conduit.ErrDraining):
+		return wire.CodeDraining
+	case errors.Is(err, conduit.ErrCircuitOpen):
+		return wire.CodeCircuitOpen
+	}
+	return wire.CodeError
+}
+
+// ErrFor reverses codeFor on the router side: typed conditions come
+// back as the same sentinel errors in-process callers match on.
+func ErrFor(code wire.Code, msg string) error {
+	var base error
+	switch code {
+	case wire.CodeOK:
+		return nil
+	case wire.CodeOverloaded:
+		base = conduit.ErrOverloaded
+	case wire.CodeDeadline:
+		base = conduit.ErrDeadlineExceeded
+	case wire.CodeDraining:
+		base = conduit.ErrDraining
+	case wire.CodeCircuitOpen:
+		base = conduit.ErrCircuitOpen
+	default:
+		return errors.New(msg)
+	}
+	if msg == base.Error() {
+		return base
+	}
+	return fmt.Errorf("%s: %w", msg, base)
+}
+
+func wireRecovery(r serve.Recovery) wire.Recovery {
+	return wire.Recovery{
+		Attempts:     r.Attempts,
+		Retries:      r.Retries,
+		Hedges:       r.Hedges,
+		HedgeWins:    r.HedgeWins,
+		Fallbacks:    r.Fallbacks,
+		Injected:     r.Injected,
+		BackoffSimNS: int64(r.BackoffSim),
+	}
+}
+
+// WireTenants projects per-tenant accounting snapshots onto their
+// deterministic wire rows: every count, the recovery totals, simulated
+// time, and energy — but no wall-clock percentile, which is the
+// histogram's job.
+func WireTenants(snaps []conduit.TenantSnapshot) []wire.TenantRow {
+	rows := make([]wire.TenantRow, len(snaps))
+	for i, t := range snaps {
+		rows[i] = wire.TenantRow{
+			Tenant:   t.Tenant,
+			Requests: t.Requests,
+			Errors:   t.Errors,
+			Shed:     t.Shed,
+			Expired:  t.Expired,
+			Shared:   t.Shared,
+			Attained: t.Attained,
+			Recovery: wireRecovery(t.Recovery),
+			SimNS:    int64(t.Sim),
+			EnergyJ:  t.EnergyJ,
+		}
+	}
+	return rows
+}
+
+// WirePools projects the pool-stats map onto name-sorted wire rows.
+func WirePools(stats map[string]conduit.PoolStats) []wire.PoolRow {
+	if len(stats) == 0 {
+		return nil // canonical: matches what decoding an empty list yields
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]wire.PoolRow, 0, len(names))
+	for _, name := range names {
+		p := stats[name]
+		rows = append(rows, wire.PoolRow{
+			Name:        name,
+			Preforked:   p.Preforked,
+			Hits:        p.Hits,
+			Misses:      p.Misses,
+			Quarantined: p.Quarantined,
+			Repairs:     p.Repairs,
+			Idle:        int64(p.Idle),
+			Closed:      p.Closed,
+		})
+	}
+	return rows
+}

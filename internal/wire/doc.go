@@ -1,0 +1,38 @@
+// Package wire defines the framed request/response protocol the
+// conduit serving fleet speaks: conduit-router (the host-side
+// initiator) encodes requests into command capsules, conduit-target
+// (the target-side poller) dispatches them to its serve engine and
+// answers with outcome capsules — the NVMe-over-Fabrics shape scaled
+// down to the simulator's needs.
+//
+// A frame on the wire is
+//
+//	uint32 big-endian payload length
+//	byte   protocol version
+//	byte   frame type
+//	body   (type-specific, varint/length-prefixed fields)
+//
+// Every frame the protocol defines is carried by one Go struct (Hello,
+// Request, Response, SnapshotReq, Snapshot, Drain, DrainAck), and the
+// codec is canonical: encoding is a pure function of the struct, so
+// equal frames encode to equal bytes — which is what lets the wiretest
+// harness prove a routed fleet byte-identical to in-process serving by
+// comparing encodings.
+//
+// Decoding is strict and allocation-bounded: the length prefix is
+// capped at MaxFrame before any buffer is sized, element counts are
+// validated against both protocol limits and the bytes actually
+// present before slices are allocated, strings are length-capped, and
+// a frame must consume its payload exactly — truncated, oversized, or
+// trailing-byte inputs are errors, never panics. FuzzWireDecode and
+// FuzzWireRoundTrip (with committed corpora) enforce this on
+// adversarial inputs.
+//
+// The payload deliberately carries only deterministic quantities —
+// simulated time, energy, recovery accounting, substrate counters —
+// plus the per-target wall-clock latency histogram as an opaque
+// mergeable snapshot (internal/histo's canonical codec). Wall-clock
+// per-request latency is measured by whoever holds the clock (the
+// router, the target's serve engine), never shipped, so response
+// frames are comparable across runs.
+package wire

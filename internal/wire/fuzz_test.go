@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"conduit/internal/histo"
+)
+
+// FuzzWireDecode feeds the decoder adversarial payloads: it must never
+// panic, never allocate beyond the input's real size, and — when it
+// does accept a payload — the decoded frame must re-encode canonically
+// and decode back to itself.
+func FuzzWireDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(Append(nil, fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version + 1, byte(TypeRequest), 0})
+	f.Add([]byte{Version, 255})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr, err := Decode(payload)
+		if err != nil {
+			return
+		}
+		re := Append(nil, fr)
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted frame rejected: %v\npayload %x", err, payload)
+		}
+		if !reflect.DeepEqual(fr, back) {
+			t.Fatalf("re-encode round trip changed frame\n  was: %+v\n  now: %+v", fr, back)
+		}
+		// Canonical: a twice-encoded frame is byte-stable.
+		if again := Append(nil, back); !bytes.Equal(re, again) {
+			t.Fatalf("encoding not canonical:\n first: %x\nsecond: %x", re, again)
+		}
+	})
+}
+
+// FuzzWireRoundTrip builds structured request/response frames from
+// fuzzed fields and requires exact round trips through the codec —
+// the complement of FuzzWireDecode: every encodable frame decodes to
+// itself.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "tenant-00", "aes", "Conduit", int64(0), uint8(0), int64(1000), 0.5, "")
+	f.Add(uint64(0), "", "w", "p", int64(1e15), uint8(1), int64(-7), math.Inf(-1), "some failure")
+	f.Add(^uint64(0), "t\x00n", "w🚀", "p", int64(1), uint8(4), int64(1<<60), math.NaN(), "serve: engine is draining")
+	f.Fuzz(func(t *testing.T, id uint64, tenant, workload, policy string,
+		deadline int64, code uint8, elapsed int64, energy float64, errText string) {
+		if len(tenant) > MaxString || len(workload) > MaxString ||
+			len(policy) > MaxString || len(errText) > MaxString {
+			return
+		}
+		if deadline < 0 {
+			deadline = -deadline
+		}
+		if deadline < 0 { // MinInt64 negates to itself
+			return
+		}
+
+		req := Request{ID: id, Tenant: tenant, Workload: workload, Policy: policy,
+			DeadlineNS: deadline, Shards: []uint32{uint32(id), uint32(id >> 32)}}
+		checkRoundTrip(t, req)
+
+		resp := Response{ID: id, Code: Code(code % 7), ElapsedSimNS: elapsed,
+			EnergyJ: energy, Recovery: Recovery{Attempts: elapsed % 97, BackoffSimNS: deadline}}
+		if resp.Code == CodeOK {
+			resp.Result = &Result{Policy: policy, ComputeEnergyJ: energy,
+				OverheadNS: elapsed, InstCount: int64(id % 1024),
+				Counters: []Counter{{Name: workload, Value: elapsed}}}
+		} else {
+			if errText == "" {
+				errText = "x"
+			}
+			resp.Error = errText
+		}
+		checkRoundTrip(t, resp)
+
+		wall := histo.New()
+		for i := int64(0); i < int64(id%64); i++ {
+			wall.Add(elapsed&math.MaxInt64 + i)
+		}
+		snap := Snapshot{ID: id, Target: tenant,
+			Tenants: []TenantRow{{Tenant: tenant, Requests: elapsed, EnergyJ: energy,
+				Recovery: Recovery{Retries: deadline}}},
+			Pools: []PoolRow{{Name: workload, Idle: elapsed % 13, Closed: code%2 == 0}},
+			Wall:  wall}
+		checkRoundTrip(t, snap)
+	})
+}
+
+func checkRoundTrip(t *testing.T, f Frame) {
+	t.Helper()
+	enc, err := Encode(f)
+	if err != nil {
+		t.Fatalf("%T: encode: %v", f, err)
+	}
+	got, err := ReadFrame(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("%T: decode: %v", f, err)
+	}
+	if !equalFrame(got, f) {
+		t.Fatalf("%T: round trip changed frame\n got: %+v\nwant: %+v", f, got, f)
+	}
+}
+
+// equalFrame is DeepEqual with NaN-tolerant float comparison: NaN
+// round-trips bit-exactly but is not DeepEqual to itself.
+func equalFrame(a, b Frame) bool {
+	ea := Append(nil, a)
+	eb := Append(nil, b)
+	return bytes.Equal(ea, eb)
+}

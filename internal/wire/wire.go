@@ -1,0 +1,802 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"conduit/internal/histo"
+)
+
+// Protocol limits. Decoders enforce every one of them before sizing a
+// buffer, so a hostile peer cannot make a conduit process allocate more
+// than MaxFrame bytes per frame.
+const (
+	// Version is the protocol revision; peers reject frames from any
+	// other revision outright.
+	Version = 1
+	// MaxFrame bounds one frame's payload (version byte, type byte, and
+	// body) on the wire.
+	MaxFrame = 1 << 20
+	// MaxString bounds every string field.
+	MaxString = 1 << 12
+	// MaxShardSet bounds a request's shard-set.
+	MaxShardSet = 64
+	// MaxList bounds every repeated field (workloads, tenant rows, pool
+	// rows, counters).
+	MaxList = 1 << 12
+)
+
+// Type tags a frame's kind on the wire.
+type Type uint8
+
+// The frame types.
+const (
+	TypeHello       Type = 1 // target -> router, once per connection
+	TypeRequest     Type = 2 // router -> target
+	TypeResponse    Type = 3 // target -> router
+	TypeSnapshotReq Type = 4 // router -> target
+	TypeSnapshot    Type = 5 // target -> router
+	TypeDrain       Type = 6 // router -> target: drain and shut down
+	TypeDrainAck    Type = 7 // target -> router, after the drain finished
+)
+
+// Frame is one protocol message. Exactly the seven wire structs
+// implement it.
+type Frame interface{ frameType() Type }
+
+func (Hello) frameType() Type       { return TypeHello }
+func (Request) frameType() Type     { return TypeRequest }
+func (Response) frameType() Type    { return TypeResponse }
+func (SnapshotReq) frameType() Type { return TypeSnapshotReq }
+func (Snapshot) frameType() Type    { return TypeSnapshot }
+func (Drain) frameType() Type       { return TypeDrain }
+func (DrainAck) frameType() Type    { return TypeDrainAck }
+
+// Hello is the target's greeting, sent once when a connection opens: it
+// names the target, its shard fan-out, and the workloads it serves, so
+// the router can validate placement before routing a single request.
+type Hello struct {
+	Target    string
+	Shards    int64
+	Workloads []string
+}
+
+// Request is one offload command capsule.
+type Request struct {
+	// ID correlates the response; the issuer chooses it and the target
+	// echoes it. IDs are per-connection.
+	ID       uint64
+	Tenant   string
+	Workload string
+	Policy   string
+	// DeadlineNS is the request's SLO budget in nanoseconds from
+	// submission at the target; 0 means none.
+	DeadlineNS int64
+	// Shards restricts the request to a subset of the target's shards.
+	// Empty means every shard the target owns — the only set current
+	// targets accept; the field exists so a future router can split one
+	// request across targets that each own part of a dataset.
+	Shards []uint32
+}
+
+// Code classifies a response, mirroring the serving tier's typed errors
+// so the router can tell retryable conditions from verdicts.
+type Code uint8
+
+// The response codes.
+const (
+	CodeOK          Code = 0
+	CodeError       Code = 1 // backend failure (recovery exhausted, organic error)
+	CodeOverloaded  Code = 2 // shed at admission, never executed
+	CodeDeadline    Code = 3 // deadline expired in the admission queue
+	CodeDraining    Code = 4 // target is draining
+	CodeCircuitOpen Code = 5 // a breaker refused it and no fallback is set
+	CodeBadRequest  Code = 6 // unknown workload/policy or malformed frame
+)
+
+// Recovery mirrors serve.Recovery field for field: the fault-tolerance
+// work behind one response, in deterministic simulated quantities.
+type Recovery struct {
+	Attempts     int64
+	Retries      int64
+	Hedges       int64
+	HedgeWins    int64
+	Fallbacks    int64
+	Injected     int64
+	BackoffSimNS int64
+}
+
+// Counter is one named substrate activity counter of a run result.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Result is the deterministic summary of a successful run: the
+// simulated-cost fields of a conduit RunResult, the offload-decision
+// and instruction-latency fingerprints, and the substrate counters in
+// first-use order. It deliberately omits the executed device and the
+// raw latency reservoir — the wire carries verdicts, not simulator
+// state.
+type Result struct {
+	Policy          string
+	ComputeEnergyJ  float64
+	MovementEnergyJ float64
+	OverheadNS      int64
+	Decisions       int64
+	InstCount       int64
+	InstMeanNS      int64
+	Counters        []Counter
+}
+
+// Response is one outcome capsule. Every field is deterministic given
+// the request stream and the target's seed/trace: wall-clock latency is
+// deliberately absent, which is what makes two independent runs of the
+// same schedule byte-comparable frame by frame.
+type Response struct {
+	ID   uint64
+	Code Code
+	// Error is the backend error text; empty iff Code is CodeOK.
+	Error string
+	// ElapsedSimNS is the simulated execution time, including charged
+	// recovery backoff.
+	ElapsedSimNS int64
+	// EnergyJ is the total consumed energy in joules.
+	EnergyJ  float64
+	Recovery Recovery
+	// Result is present iff Code is CodeOK.
+	Result *Result
+}
+
+// SnapshotReq asks the target for its accounting snapshot.
+type SnapshotReq struct{ ID uint64 }
+
+// TenantRow is one tenant's deterministic accounting totals at a
+// target: the wall-clock percentile columns of the serve report are
+// intentionally absent (they ride in Snapshot.Wall instead, as a
+// mergeable histogram).
+type TenantRow struct {
+	Tenant   string
+	Requests int64
+	Errors   int64
+	Shed     int64
+	Expired  int64
+	Shared   int64
+	Attained int64
+	Recovery Recovery
+	SimNS    int64
+	EnergyJ  float64
+}
+
+// PoolRow is one device pool's counters at a target ("workload" or
+// "workload#shard").
+type PoolRow struct {
+	Name        string
+	Preforked   int64
+	Hits        int64
+	Misses      int64
+	Quarantined int64
+	Repairs     int64
+	Idle        int64
+	Closed      bool
+}
+
+// Snapshot is the target's accounting state: per-tenant deterministic
+// rows, per-pool counters, and the target's wall-clock latency
+// histogram as a mergeable snapshot the router folds into fleet-wide
+// percentiles.
+type Snapshot struct {
+	ID      uint64
+	Target  string
+	Tenants []TenantRow
+	Pools   []PoolRow
+	// Wall is the target's all-tenants wall-clock latency histogram;
+	// never nil in a valid frame.
+	Wall *histo.Histogram
+}
+
+// Drain asks the target to drain gracefully: stop admitting, finish
+// in-flight requests, close every pool, then answer with DrainAck and
+// shut down.
+type Drain struct{ ID uint64 }
+
+// DrainAck reports the completed drain, with the final pool counters —
+// the cross-process version of the "no leaked forks after Drain" pin.
+type DrainAck struct {
+	ID    uint64
+	Pools []PoolRow
+}
+
+// ---- encoding ----
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// appendInt64 zigzag-encodes v so small negatives stay small on the
+// wire and every int64 round-trips exactly.
+func appendInt64(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v)<<1^uint64(v>>63))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendRecovery(b []byte, r Recovery) []byte {
+	b = appendInt64(b, r.Attempts)
+	b = appendInt64(b, r.Retries)
+	b = appendInt64(b, r.Hedges)
+	b = appendInt64(b, r.HedgeWins)
+	b = appendInt64(b, r.Fallbacks)
+	b = appendInt64(b, r.Injected)
+	return appendInt64(b, r.BackoffSimNS)
+}
+
+// Append encodes f (version, type, body — everything but the length
+// prefix) onto dst and returns the extended slice.
+func Append(dst []byte, f Frame) []byte {
+	dst = append(dst, Version, byte(f.frameType()))
+	switch fr := f.(type) {
+	case Hello:
+		dst = appendString(dst, fr.Target)
+		dst = appendInt64(dst, fr.Shards)
+		dst = appendUvarint(dst, uint64(len(fr.Workloads)))
+		for _, w := range fr.Workloads {
+			dst = appendString(dst, w)
+		}
+	case Request:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+		dst = appendString(dst, fr.Tenant)
+		dst = appendString(dst, fr.Workload)
+		dst = appendString(dst, fr.Policy)
+		dst = appendInt64(dst, fr.DeadlineNS)
+		dst = appendUvarint(dst, uint64(len(fr.Shards)))
+		for _, s := range fr.Shards {
+			dst = appendUvarint(dst, uint64(s))
+		}
+	case Response:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+		dst = append(dst, byte(fr.Code))
+		dst = appendString(dst, fr.Error)
+		dst = appendInt64(dst, fr.ElapsedSimNS)
+		dst = appendF64(dst, fr.EnergyJ)
+		dst = appendRecovery(dst, fr.Recovery)
+		if fr.Result == nil {
+			dst = appendBool(dst, false)
+		} else {
+			dst = appendBool(dst, true)
+			r := fr.Result
+			dst = appendString(dst, r.Policy)
+			dst = appendF64(dst, r.ComputeEnergyJ)
+			dst = appendF64(dst, r.MovementEnergyJ)
+			dst = appendInt64(dst, r.OverheadNS)
+			dst = appendInt64(dst, r.Decisions)
+			dst = appendInt64(dst, r.InstCount)
+			dst = appendInt64(dst, r.InstMeanNS)
+			dst = appendUvarint(dst, uint64(len(r.Counters)))
+			for _, c := range r.Counters {
+				dst = appendString(dst, c.Name)
+				dst = appendInt64(dst, c.Value)
+			}
+		}
+	case SnapshotReq:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+	case Snapshot:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+		dst = appendString(dst, fr.Target)
+		dst = appendUvarint(dst, uint64(len(fr.Tenants)))
+		for _, t := range fr.Tenants {
+			dst = appendString(dst, t.Tenant)
+			dst = appendInt64(dst, t.Requests)
+			dst = appendInt64(dst, t.Errors)
+			dst = appendInt64(dst, t.Shed)
+			dst = appendInt64(dst, t.Expired)
+			dst = appendInt64(dst, t.Shared)
+			dst = appendInt64(dst, t.Attained)
+			dst = appendRecovery(dst, t.Recovery)
+			dst = appendInt64(dst, t.SimNS)
+			dst = appendF64(dst, t.EnergyJ)
+		}
+		dst = appendPools(dst, fr.Pools)
+		wall := fr.Wall
+		if wall == nil {
+			wall = histo.New()
+		}
+		blob := wall.MarshalBinary()
+		dst = appendUvarint(dst, uint64(len(blob)))
+		dst = append(dst, blob...)
+	case Drain:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+	case DrainAck:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+		dst = appendPools(dst, fr.Pools)
+	default:
+		panic(fmt.Sprintf("wire: Append of unknown frame %T", f))
+	}
+	return dst
+}
+
+func appendPools(dst []byte, pools []PoolRow) []byte {
+	dst = appendUvarint(dst, uint64(len(pools)))
+	for _, p := range pools {
+		dst = appendString(dst, p.Name)
+		dst = appendInt64(dst, p.Preforked)
+		dst = appendInt64(dst, p.Hits)
+		dst = appendInt64(dst, p.Misses)
+		dst = appendInt64(dst, p.Quarantined)
+		dst = appendInt64(dst, p.Repairs)
+		dst = appendInt64(dst, p.Idle)
+		dst = appendBool(dst, p.Closed)
+	}
+	return dst
+}
+
+// Encode returns f as a complete wire frame: 4-byte big-endian length
+// prefix followed by the payload Append produces. It errors if the
+// frame exceeds MaxFrame or any field exceeds its protocol limit —
+// the encoder enforces the same limits the decoder does, so every
+// encodable frame is decodable.
+func Encode(f Frame) ([]byte, error) {
+	payload := Append(make([]byte, 0, 256), f)
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("wire: %d-byte frame exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	// Round-trip the limits by decoding our own payload: cheap (frames
+	// are small), and it guarantees Encode and Decode agree on validity.
+	if _, err := Decode(payload); err != nil {
+		return nil, fmt.Errorf("wire: frame violates protocol limits: %w", err)
+	}
+	out := make([]byte, 0, 4+len(payload))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...), nil
+}
+
+// WriteFrame encodes f and writes it to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	b, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r and decodes it. The
+// length prefix is validated against MaxFrame before any buffer is
+// allocated, so a hostile peer cannot trigger an oversized allocation
+// with a forged prefix.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 2 {
+		return nil, fmt.Errorf("wire: %d-byte frame below minimum", n)
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: %d-byte frame exceeds MaxFrame %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: truncated %d-byte frame: %w", n, err)
+	}
+	return Decode(payload)
+}
+
+// ---- decoding ----
+
+// reader is a strict cursor over one frame payload: every read is
+// bounds-checked, every length is validated before allocation.
+type reader struct {
+	b []byte
+}
+
+var errShort = errors.New("wire: truncated frame")
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errShort
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) int64() (int64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *reader) byte() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, errShort
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	v, err := r.byte()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("wire: bool byte %d", v)
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxString {
+		return "", fmt.Errorf("wire: %d-byte string exceeds MaxString %d", n, MaxString)
+	}
+	if n > uint64(len(r.b)) {
+		return "", errShort
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+// count validates a repeated-field length against the protocol limit
+// and the bytes actually remaining (each element costs at least min
+// bytes), so slice allocation is bounded by the input's real size.
+func (r *reader) count(min int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > MaxList {
+		return 0, fmt.Errorf("wire: %d-element list exceeds MaxList %d", n, MaxList)
+	}
+	if min < 1 {
+		min = 1
+	}
+	if n*uint64(min) > uint64(len(r.b)) {
+		return 0, errShort
+	}
+	return int(n), nil
+}
+
+func (r *reader) recovery() (Recovery, error) {
+	var rec Recovery
+	for _, p := range [...]*int64{
+		&rec.Attempts, &rec.Retries, &rec.Hedges, &rec.HedgeWins,
+		&rec.Fallbacks, &rec.Injected, &rec.BackoffSimNS,
+	} {
+		v, err := r.int64()
+		if err != nil {
+			return Recovery{}, err
+		}
+		*p = v
+	}
+	return rec, nil
+}
+
+func (r *reader) pools() ([]PoolRow, error) {
+	n, err := r.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	pools := make([]PoolRow, n)
+	for i := range pools {
+		p := &pools[i]
+		if p.Name, err = r.string(); err != nil {
+			return nil, err
+		}
+		for _, f := range [...]*int64{
+			&p.Preforked, &p.Hits, &p.Misses, &p.Quarantined, &p.Repairs, &p.Idle,
+		} {
+			if *f, err = r.int64(); err != nil {
+				return nil, err
+			}
+		}
+		if p.Closed, err = r.bool(); err != nil {
+			return nil, err
+		}
+	}
+	return pools, nil
+}
+
+// Decode parses one frame payload (version byte, type byte, body). It
+// enforces the protocol version, the per-field limits, and exact
+// payload consumption; malformed input yields an error, never a panic
+// or an attacker-sized allocation.
+func Decode(payload []byte) (Frame, error) {
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("wire: %d-byte payload exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	r := &reader{b: payload}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("wire: protocol version %d, want %d", ver, Version)
+	}
+	t, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	var f Frame
+	switch Type(t) {
+	case TypeHello:
+		f, err = r.hello()
+	case TypeRequest:
+		f, err = r.request()
+	case TypeResponse:
+		f, err = r.response()
+	case TypeSnapshotReq:
+		var id uint64
+		if id, err = r.u64(); err == nil {
+			f = SnapshotReq{ID: id}
+		}
+	case TypeSnapshot:
+		f, err = r.snapshot()
+	case TypeDrain:
+		var id uint64
+		if id, err = r.u64(); err == nil {
+			f = Drain{ID: id}
+		}
+	case TypeDrainAck:
+		var ack DrainAck
+		if ack.ID, err = r.u64(); err == nil {
+			ack.Pools, err = r.pools()
+			f = ack
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %T frame", len(r.b), f)
+	}
+	return f, nil
+}
+
+func (r *reader) hello() (Frame, error) {
+	var h Hello
+	var err error
+	if h.Target, err = r.string(); err != nil {
+		return nil, err
+	}
+	if h.Shards, err = r.int64(); err != nil {
+		return nil, err
+	}
+	if h.Shards < 0 {
+		return nil, fmt.Errorf("wire: negative shard count %d", h.Shards)
+	}
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		h.Workloads = make([]string, n)
+		for i := range h.Workloads {
+			if h.Workloads[i], err = r.string(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+func (r *reader) request() (Frame, error) {
+	var q Request
+	var err error
+	if q.ID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if q.Tenant, err = r.string(); err != nil {
+		return nil, err
+	}
+	if q.Workload, err = r.string(); err != nil {
+		return nil, err
+	}
+	if q.Policy, err = r.string(); err != nil {
+		return nil, err
+	}
+	if q.DeadlineNS, err = r.int64(); err != nil {
+		return nil, err
+	}
+	if q.DeadlineNS < 0 {
+		return nil, fmt.Errorf("wire: negative deadline %d", q.DeadlineNS)
+	}
+	n, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxShardSet {
+		return nil, fmt.Errorf("wire: %d-shard set exceeds MaxShardSet %d", n, MaxShardSet)
+	}
+	if n > 0 {
+		q.Shards = make([]uint32, n)
+		for i := range q.Shards {
+			s, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if s > math.MaxUint32 {
+				return nil, fmt.Errorf("wire: shard index %d overflows uint32", s)
+			}
+			q.Shards[i] = uint32(s)
+		}
+	}
+	return q, nil
+}
+
+func (r *reader) response() (Frame, error) {
+	var p Response
+	var err error
+	if p.ID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	code, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if code > byte(CodeBadRequest) {
+		return nil, fmt.Errorf("wire: unknown response code %d", code)
+	}
+	p.Code = Code(code)
+	if p.Error, err = r.string(); err != nil {
+		return nil, err
+	}
+	if (p.Code == CodeOK) != (p.Error == "") {
+		return nil, fmt.Errorf("wire: code %d with error %q", p.Code, p.Error)
+	}
+	if p.ElapsedSimNS, err = r.int64(); err != nil {
+		return nil, err
+	}
+	if p.EnergyJ, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if p.Recovery, err = r.recovery(); err != nil {
+		return nil, err
+	}
+	hasResult, err := r.bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasResult != (p.Code == CodeOK) {
+		return nil, fmt.Errorf("wire: code %d with result=%v", p.Code, hasResult)
+	}
+	if hasResult {
+		res := &Result{}
+		if res.Policy, err = r.string(); err != nil {
+			return nil, err
+		}
+		if res.ComputeEnergyJ, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if res.MovementEnergyJ, err = r.f64(); err != nil {
+			return nil, err
+		}
+		for _, f := range [...]*int64{&res.OverheadNS, &res.Decisions, &res.InstCount, &res.InstMeanNS} {
+			if *f, err = r.int64(); err != nil {
+				return nil, err
+			}
+		}
+		n, err := r.count(2)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			res.Counters = make([]Counter, n)
+			for i := range res.Counters {
+				if res.Counters[i].Name, err = r.string(); err != nil {
+					return nil, err
+				}
+				if res.Counters[i].Value, err = r.int64(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		p.Result = res
+	}
+	return p, nil
+}
+
+func (r *reader) snapshot() (Frame, error) {
+	var s Snapshot
+	var err error
+	if s.ID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if s.Target, err = r.string(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(16)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		s.Tenants = make([]TenantRow, n)
+		for i := range s.Tenants {
+			t := &s.Tenants[i]
+			if t.Tenant, err = r.string(); err != nil {
+				return nil, err
+			}
+			for _, f := range [...]*int64{
+				&t.Requests, &t.Errors, &t.Shed, &t.Expired, &t.Shared, &t.Attained,
+			} {
+				if *f, err = r.int64(); err != nil {
+					return nil, err
+				}
+			}
+			if t.Recovery, err = r.recovery(); err != nil {
+				return nil, err
+			}
+			if t.SimNS, err = r.int64(); err != nil {
+				return nil, err
+			}
+			if t.EnergyJ, err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Pools, err = r.pools(); err != nil {
+		return nil, err
+	}
+	blobLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if blobLen > uint64(len(r.b)) {
+		return nil, errShort
+	}
+	s.Wall, err = histo.Decode(r.b[:blobLen])
+	if err != nil {
+		return nil, fmt.Errorf("wire: snapshot histogram: %w", err)
+	}
+	r.b = r.b[blobLen:]
+	return s, nil
+}

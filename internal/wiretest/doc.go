@@ -1,0 +1,21 @@
+// Package wiretest is the multi-process equivalence harness for the
+// conduit wire tier. Its tests re-exec the test binary into real
+// conduit-target OS processes (TestMain intercepts the child via an
+// environment gate and runs target.Main), dial them with
+// internal/router clients, and drive deterministic load through the
+// framed protocol.
+//
+// The headline test pins the tier's license to exist: a one-target
+// routed fleet, driven lock-step by the PR5 load generator, produces
+// response frames and a tenant report byte-identical to the same
+// requests submitted to an in-process conduit.Server — the wire adds
+// nothing and loses nothing. The rest of the suite exercises the parts
+// a single process cannot: placement and exact snapshot merging across
+// two targets, failover when a target is killed mid-run, deterministic
+// router breaker trips under replayed fault schedules, and graceful
+// drain during concurrent traffic with no leaked pool forks (run under
+// -race by `make test-oracle`).
+//
+// The package itself is test-only; this file exists so the package has
+// a buildable (empty) non-test compilation unit.
+package wiretest

@@ -1,0 +1,182 @@
+package wiretest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"conduit/internal/router"
+	"conduit/internal/target"
+)
+
+// TestMain doubles as the target executable: when the harness re-execs
+// the test binary with WIRETEST_TARGET=1, we run target.Main instead of
+// the test suite — the same entry point cmd/conduit-target wraps, so
+// the processes under test are real targets, not mocks.
+func TestMain(m *testing.M) {
+	if os.Getenv("WIRETEST_TARGET") == "1" {
+		var args []string
+		if raw := os.Getenv("WIRETEST_ARGS"); raw != "" {
+			if err := json.Unmarshal([]byte(raw), &args); err != nil {
+				fmt.Fprintf(os.Stderr, "wiretest child: bad WIRETEST_ARGS: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		os.Exit(target.Main(args, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// fleetTarget is one spawned target process.
+type fleetTarget struct {
+	t      *testing.T
+	cmd    *exec.Cmd
+	addr   string
+	stderr *prefixBuffer
+	done   chan error
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// prefixBuffer collects child stderr for post-mortem dumps.
+type prefixBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (p *prefixBuffer) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.Write(b)
+}
+
+func (p *prefixBuffer) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+// startTarget re-execs the test binary as a conduit-target with the
+// given flags (a "-listen 127.0.0.1:0" is prepended so the kernel
+// picks the port) and waits for its LISTENING line. The process is
+// killed at test cleanup if the test did not already stop it.
+func startTarget(t *testing.T, args ...string) *fleetTarget {
+	t.Helper()
+	argv := append([]string{"-listen", "127.0.0.1:0"}, args...)
+	enc, err := json.Marshal(argv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "WIRETEST_TARGET=1", "WIRETEST_ARGS="+string(enc))
+	errBuf := &prefixBuffer{}
+	cmd.Stderr = errBuf
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning target: %v", err)
+	}
+	ft := &fleetTarget{t: t, cmd: cmd, stderr: errBuf, done: make(chan error, 1)}
+
+	lines := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			if addr, ok := strings.CutPrefix(lines.Text(), "LISTENING "); ok {
+				addrCh <- addr
+				break
+			}
+		}
+		close(addrCh)
+		io.Copy(io.Discard, stdout) // keep the child's stdout drained
+	}()
+	go func() { ft.done <- cmd.Wait() }()
+
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			t.Fatalf("target exited before LISTENING; stderr:\n%s", errBuf.String())
+		}
+		ft.addr = addr
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("target never printed LISTENING; stderr:\n%s", errBuf.String())
+	}
+	t.Cleanup(func() {
+		ft.kill()
+		if t.Failed() {
+			t.Logf("target %s stderr:\n%s", ft.addr, ft.stderr.String())
+		}
+	})
+	return ft
+}
+
+// kill force-terminates the target (SIGKILL) and reaps it. Idempotent;
+// safe after a graceful exit.
+func (ft *fleetTarget) kill() {
+	ft.mu.Lock()
+	if ft.stopped {
+		ft.mu.Unlock()
+		return
+	}
+	ft.stopped = true
+	ft.mu.Unlock()
+	ft.cmd.Process.Kill()
+	<-ft.done
+}
+
+// sigterm delivers the graceful-drain signal without waiting.
+func (ft *fleetTarget) sigterm() {
+	ft.t.Helper()
+	if err := ft.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		ft.t.Fatalf("SIGTERM: %v", err)
+	}
+}
+
+// waitExit blocks until the process exits and returns its wait error
+// (nil for exit status 0).
+func (ft *fleetTarget) waitExit(timeout time.Duration) error {
+	ft.t.Helper()
+	select {
+	case err := <-ft.done:
+		ft.mu.Lock()
+		ft.stopped = true
+		ft.mu.Unlock()
+		ft.done <- err // re-arm for kill()
+		return err
+	case <-time.After(timeout):
+		ft.t.Fatalf("target %s did not exit within %v; stderr:\n%s", ft.addr, timeout, ft.stderr.String())
+		return nil
+	}
+}
+
+// dialFleet connects a router to the given targets.
+func dialFleet(t *testing.T, opts router.Options, fts ...*fleetTarget) *router.Router {
+	t.Helper()
+	clients := make([]*router.Client, len(fts))
+	for i, ft := range fts {
+		c, err := router.Dial(ft.addr)
+		if err != nil {
+			t.Fatalf("dialing target %s: %v", ft.addr, err)
+		}
+		clients[i] = c
+	}
+	rt, err := router.New(clients, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}

@@ -2,8 +2,9 @@
 # bench.sh — record the data-plane and serving perf trajectory.
 #
 # Runs the kernel microbenchmarks, the macro benchmarks (including the
-# open-loop serving path plus its fault-tolerant twin), and writes the
-# machine-readable record the repo commits per PR (BENCH_pr8.json for
+# open-loop serving path plus its fault-tolerant twin), a routed
+# 2-target fleet sweep over the wire tier, and writes the
+# machine-readable record the repo commits per PR (BENCH_pr9.json for
 # this one). Usage:
 #
 #   scripts/bench.sh [out.json]
@@ -11,12 +12,16 @@
 # Environment:
 #   SCALE      workload scale for the macro benches (default 2)
 #   BENCHTIME  go test -benchtime for the printed benches (default 5x)
+#   FLEET_QPS  offered load for the routed-fleet sweep (default 300)
+#   FLEET_DUR  load window for the routed-fleet sweep (default 2s)
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 scale="${SCALE:-2}"
 benchtime="${BENCHTIME:-5x}"
+fleet_qps="${FLEET_QPS:-300}"
+fleet_dur="${FLEET_DUR:-2s}"
 
 echo "== perf-trajectory record -> $out (scale $scale)"
 go run ./cmd/experiments -benchjson "$out" -scale "$scale"
@@ -37,3 +42,23 @@ go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|Benchmark
 echo
 echo "== histogram microbenchmarks (serving accounting hot path)"
 go test -run '^$' -bench 'BenchmarkHistogram' -benchmem ./internal/histo
+
+echo
+echo "== routed 2-target fleet (wire tier, open loop @ ${fleet_qps} req/s for ${fleet_dur})"
+fleetdir=$(mktemp -d)
+go build -o "$fleetdir/" ./cmd/conduit-target ./cmd/conduit-router
+"$fleetdir/conduit-target" -listen 127.0.0.1:0 -name t0 -prefork 2 >"$fleetdir/t0.log" 2>&1 &
+pid0=$!
+"$fleetdir/conduit-target" -listen 127.0.0.1:0 -name t1 -prefork 2 >"$fleetdir/t1.log" 2>&1 &
+pid1=$!
+trap 'kill "$pid0" "$pid1" 2>/dev/null || true; rm -rf "$fleetdir"' EXIT
+for _ in $(seq 1 50); do
+  grep -q LISTENING "$fleetdir/t0.log" && grep -q LISTENING "$fleetdir/t1.log" && break
+  sleep 0.1
+done
+a0=$(sed -n 's/^LISTENING //p' "$fleetdir/t0.log")
+a1=$(sed -n 's/^LISTENING //p' "$fleetdir/t1.log")
+"$fleetdir/conduit-router" -targets "$a0,$a1" \
+  -open "$fleet_qps" -duration "$fleet_dur" -retries 3 -breaker 4 \
+  -benchjson "$out"
+wait
