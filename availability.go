@@ -137,7 +137,7 @@ func (e *Experiments) Availability(opts AvailabilityOptions) (*Table, error) {
 			var rec Recovery
 			lat := stats.NewReservoir()
 			for i := 0; i < opts.Requests; i++ {
-				res, reqRec, err := r.run(opts.Policy)
+				res, reqRec, err := r.run(opts.Policy, nil)
 				rec.Merge(reqRec)
 				if err != nil {
 					continue

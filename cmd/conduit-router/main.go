@@ -21,7 +21,18 @@
 //
 // -benchjson FILE merges the routed-fleet throughput and latency
 // results into a conduit-bench/v1 record (creating it if absent) —
-// scripts/bench.sh uses this for the committed BENCH_pr9.json.
+// scripts/bench.sh uses this for the committed BENCH_pr10.json.
+//
+// -trace FILE records the fleet-merged flight: the router's placement
+// spans (attempts, retries, hedges, breaker refusals) with each
+// target's serve/cluster/device spans — shipped home at the tail of
+// the v2 Response frame — grafted under them, one Perfetto process per
+// participant, all on the deterministic simulated timeline.
+// -tracesample N samples every Nth routed request fleet-wide (targets
+// record whatever the wire marks sampled). -metrics FILE ("-" for
+// stdout) scrapes every target's metrics over the wire, relabels each
+// sample with target="<name>", and folds them into one fleet scrape
+// alongside the router's own series.
 package main
 
 import (
@@ -38,8 +49,10 @@ import (
 
 	"conduit/internal/histo"
 	"conduit/internal/loadgen"
+	"conduit/internal/metrics"
 	"conduit/internal/router"
 	"conduit/internal/stats"
+	"conduit/internal/trace"
 	"conduit/internal/wire"
 	"conduit/internal/workloads"
 )
@@ -62,6 +75,9 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per target on the hash ring (0 = default)")
 	drain := flag.Bool("drain", true, "drain the targets when the run ends")
 	benchjson := flag.String("benchjson", "", "merge routed-fleet results into the conduit-bench/v1 record at `file`")
+	traceOut := flag.String("trace", "", "write the fleet-merged Chrome/Perfetto trace to `file` (one process per target)")
+	tracesample := flag.Int("tracesample", 0, "trace every Nth routed request (0 with -trace set traces all)")
+	metricsOut := flag.String("metrics", "", `write the fleet-merged metrics scrape (text exposition) to "file" ("-" = stdout)`)
 	flag.Parse()
 
 	if *targets == "" {
@@ -116,6 +132,17 @@ func main() {
 		}
 	}
 
+	var tracer *trace.Tracer
+	if *traceOut != "" || *tracesample > 0 {
+		every := *tracesample
+		if every < 1 {
+			every = 1 // -trace alone records every routed request
+		}
+		tracer = trace.New(trace.Options{
+			SampleEvery: every,
+			Now:         func() int64 { return time.Now().UnixNano() },
+		})
+	}
 	rt, err := router.New(clients, router.Options{
 		Retries:          *retries,
 		Hedge:            *hedge,
@@ -124,6 +151,7 @@ func main() {
 		BreakerCooldown:  *cooldown,
 		Vnodes:           *vnodes,
 		Clock:            router.Clock{Now: time.Now, After: time.After},
+		Tracer:           tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "conduit-router: %v\n", err)
@@ -184,25 +212,88 @@ func main() {
 		}
 		fmt.Printf("merged routed-fleet results -> %s\n", *benchjson)
 	}
+	if *metricsOut != "" {
+		if err := writeFleetMetrics(*metricsOut, rt); err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-router: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeFleetTrace(*traceOut, tracer, rt); err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-router: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote fleet trace -> %s\n", *traceOut)
+	}
 
 	if *drain {
-		acks := rt.DrainAll()
-		ackNames := make([]string, 0, len(acks))
-		for name := range acks {
-			ackNames = append(ackNames, name)
-		}
-		sort.Strings(ackNames)
-		for _, name := range ackNames {
+		// DrainAll's ordering contract (sorted targets, name-sorted pool
+		// rows inside each ack) makes this final fleet pool report
+		// byte-stable run to run.
+		for _, td := range rt.DrainAll() {
 			leaked := int64(0)
-			for _, p := range acks[name].Pools {
+			for _, p := range td.Ack.Pools {
 				if !p.Closed {
 					leaked++
 				}
 			}
-			fmt.Printf("drained %s: %d pool(s), %d unclosed\n", name, len(acks[name].Pools), leaked)
+			fmt.Printf("drained %s: %d pool(s), %d unclosed\n", td.Target, len(td.Ack.Pools), leaked)
+			for _, p := range td.Ack.Pools {
+				fmt.Printf("  pool %-24s preforked=%d hits=%d misses=%d quarantined=%d repairs=%d idle=%d closed=%v\n",
+					p.Name, p.Preforked, p.Hits, p.Misses, p.Quarantined, p.Repairs, p.Idle, p.Closed)
+			}
 		}
 	}
 	rt.Close()
+}
+
+// writeFleetMetrics renders the fleet-merged metrics scrape as text
+// exposition ("-" writes to stdout).
+func writeFleetMetrics(path string, rt *router.Router) error {
+	samples, missing := rt.FleetMetrics()
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := metrics.WriteText(out, samples); err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "conduit-router: no metrics from: %s\n", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// writeFleetTrace merges the router's own placement spans with the
+// spans every target attached to sampled responses, one Perfetto
+// process per participant, keyed by target name.
+func writeFleetTrace(path string, tracer *trace.Tracer, rt *router.Router) error {
+	procs := []trace.Process{{Name: "router", Spans: tracer.Spans()}}
+	remote := rt.RemoteSpans()
+	names := make([]string, 0, len(remote))
+	for name := range remote {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spans := remote[name]
+		trace.SortSpans(spans)
+		procs = append(procs, trace.Process{Name: "target " + name, Spans: spans})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WritePerfetto(f, procs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // intersect returns the sorted workloads every target advertises.
@@ -266,6 +357,26 @@ func printReport(rt *router.Router, fleet router.Fleet, missing []string,
 	}
 	pt.Render(os.Stdout)
 	fmt.Println()
+
+	// Device-pool health across the fleet, quarantine/repair cycles
+	// included: rows sorted by target name, then by the targets' own
+	// name-sorted pool rows.
+	snaps := append([]wire.Snapshot(nil), fleet.Targets...)
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Target < snaps[j].Target })
+	dt := stats.NewTable("device pools", "target", "pool",
+		"preforked", "hits", "misses", "quarantined", "repairs", "idle")
+	pools := 0
+	for _, snap := range snaps {
+		for _, p := range snap.Pools {
+			pools++
+			dt.AddRowf(snap.Target, p.Name, p.Preforked, p.Hits, p.Misses,
+				p.Quarantined, p.Repairs, p.Idle)
+		}
+	}
+	if pools > 0 {
+		dt.Render(os.Stdout)
+		fmt.Println()
+	}
 
 	lt := stats.NewTable("latency (ms)", "histogram", "count", "p50", "p99", "p999", "max")
 	addLat := func(name string, h *histo.Histogram) {

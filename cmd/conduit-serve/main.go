@@ -42,6 +42,16 @@
 // The run ends with a fault/recovery report, breaker states, and pool
 // quarantine counts.
 //
+// -trace FILE records sampled requests as a Chrome/Perfetto trace on
+// the simulated timeline (admission, coalesce, shard scatter, device
+// runs, and every recovery action as instant events); -tracejsonl FILE
+// writes the raw sorted span JSONL instead, and -tracesample N samples
+// every Nth request (defaults to every request when a trace output is
+// set). -metrics FILE ("-" for stdout) writes a text metrics scrape —
+// counters, gauges, and latency histograms filled from the engine's
+// accounting at scrape time. Tracing is off by default and costs one
+// nil check when disabled (BenchmarkServeTraceOff).
+//
 // Usage:
 //
 //	conduit-serve -clients 32 -duration 2s
@@ -50,6 +60,7 @@
 //	conduit-serve -replay burst.jsonl -speed 2
 //	conduit-serve -clients 32 -duration 2s -shards 4
 //	conduit-serve -open 300 -duration 2s -shards 2 -faults 0.05 -hedge -breaker 4 -fallback CPU
+//	conduit-serve -clients 8 -duration 2s -trace trace.json -metrics -
 //	conduit-serve -list
 package main
 
@@ -66,8 +77,10 @@ import (
 
 	conduit "conduit"
 	"conduit/internal/loadgen"
+	"conduit/internal/metrics"
 	"conduit/internal/sim"
 	"conduit/internal/stats"
+	"conduit/internal/trace"
 	"conduit/internal/workloads"
 )
 
@@ -100,6 +113,10 @@ func main() {
 	fallback := flag.String("fallback", "", "policy served while a breaker is open (empty refuses with an error)")
 	faultlog := flag.String("faultlog", "", "write the injected-fault schedule as a JSONL record to `file`")
 	faultreplay := flag.String("faultreplay", "", "replay the recorded fault schedule in `file` instead of drawing from -faults")
+	traceOut := flag.String("trace", "", "write sampled request spans as a Chrome/Perfetto trace to `file`")
+	tracejsonl := flag.String("tracejsonl", "", "write sampled request spans as JSONL to `file`")
+	tracesample := flag.Int("tracesample", 0, "trace every Nth request (0 with a -trace output set traces all)")
+	metricsOut := flag.String("metrics", "", `write the metrics scrape (text exposition) to "file" ("-" = stdout)`)
 	list := flag.Bool("list", false, "list workloads and policies, then exit")
 	flag.Parse()
 
@@ -122,15 +139,15 @@ func main() {
 
 	// Replay mode loads its schedule first: the trace, not -mix, decides
 	// which workloads must be registered.
-	var trace []loadgen.Event
+	var replayTrace []loadgen.Event
 	if *replay != "" {
 		var err error
-		trace, err = loadgen.ReadFile(*replay)
+		replayTrace, err = loadgen.ReadFile(*replay)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "conduit-serve: %v\n", err)
 			os.Exit(2)
 		}
-		if len(trace) == 0 {
+		if len(replayTrace) == 0 {
 			fmt.Fprintf(os.Stderr, "conduit-serve: trace %s is empty\n", *replay)
 			os.Exit(2)
 		}
@@ -142,7 +159,7 @@ func main() {
 	switch {
 	case *replay != "":
 		seen := make(map[string]bool)
-		for _, ev := range trace {
+		for _, ev := range replayTrace {
 			if seen[ev.Workload] {
 				continue
 			}
@@ -190,6 +207,16 @@ func main() {
 		Prefork:     *prefork,
 		Coalesce:    *coalesce,
 		Memoize:     *memoize,
+	}
+	if *traceOut != "" || *tracejsonl != "" || *tracesample > 0 {
+		every := *tracesample
+		if every < 1 {
+			every = 1 // a trace output with no cadence records every request
+		}
+		opts.Trace = &conduit.TraceOptions{
+			SampleEvery: every,
+			Now:         func() int64 { return time.Now().UnixNano() },
+		}
 	}
 	chaos := *faults > 0 || *faultreplay != ""
 	if chaos {
@@ -247,8 +274,8 @@ func main() {
 	switch {
 	case *replay != "":
 		fmt.Printf("deployed in %v; replaying %d-event trace at %gx speed\n",
-			time.Since(deployStart).Round(time.Millisecond), len(trace), *speed)
-		tally = serveOpenLoop(srv, trace, *speed, rec)
+			time.Since(deployStart).Round(time.Millisecond), len(replayTrace), *speed)
+		tally = serveOpenLoop(srv, replayTrace, *speed, rec)
 	case *open > 0:
 		schedule, err := loadgen.Generate(loadgen.Spec{
 			Arrival: *arrival, QPS: *open, Duration: *duration,
@@ -281,6 +308,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("recorded %d-event trace -> %s\n", len(events), *record)
+	}
+
+	if *tracejsonl != "" || *traceOut != "" {
+		spans := srv.Tracer().Spans()
+		if *tracejsonl != "" {
+			if err := writeSpans(*tracejsonl, spans, false); err != nil {
+				fmt.Fprintf(os.Stderr, "conduit-serve: tracejsonl: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d-span JSONL trace -> %s\n", len(spans), *tracejsonl)
+		}
+		if *traceOut != "" {
+			if err := writeSpans(*traceOut, spans, true); err != nil {
+				fmt.Fprintf(os.Stderr, "conduit-serve: trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d-span Perfetto trace -> %s\n", len(spans), *traceOut)
+		}
+	}
+	if *metricsOut != "" {
+		out := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "conduit-serve: metrics: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := metrics.WriteText(out, srv.Metrics()); err != nil {
+			fmt.Fprintf(os.Stderr, "conduit-serve: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Println()
@@ -361,6 +422,25 @@ func main() {
 	if tally.failed > 0 && !chaos {
 		os.Exit(1)
 	}
+}
+
+// writeSpans exports the server's sampled spans as a single-process
+// Perfetto trace or as JSONL.
+func writeSpans(path string, spans []*trace.Span, perfetto bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if perfetto {
+		err = trace.WritePerfetto(f, []trace.Process{{Name: "conduit-serve", Spans: spans}})
+	} else {
+		err = trace.WriteJSONL(f, spans)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // traffic tallies one load-generation run. Shed and expired requests are

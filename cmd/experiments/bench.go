@@ -264,6 +264,44 @@ func runBenchJSON(path string, scale int) error {
 	out = append(out, faultFree)
 	fsrv.Drain()
 
+	// The same stream once more with a tracer armed but sampling off —
+	// the configuration every fleet target runs in. The tracer's whole
+	// disabled-path cost is one nil/sampling check at admission, and the
+	// derived entry pins that at noise against the untraced path.
+	tsrv := conduit.NewServer(cfg, conduit.ServeOptions{
+		Concurrency: 2, QueueDepth: 2 * 4096, Prefork: 2,
+		Trace: &conduit.TraceOptions{},
+	})
+	if err := tsrv.Register(aes.Name, aes.Source); err != nil {
+		return err
+	}
+	traceOff := record("serve/trace-off-overhead", testing.Benchmark(func(bb *testing.B) {
+		bb.ReportAllocs()
+		chans := make([]<-chan *conduit.Response, 0, 4096)
+		for submitted := 0; submitted < bb.N; {
+			n := 4096
+			if rest := bb.N - submitted; rest < n {
+				n = rest
+			}
+			chans = chans[:0]
+			for i := 0; i < n; i++ {
+				ch, err := tsrv.Submit(conduit.Request{Tenant: "bench", Workload: aes.Name, Policy: "Conduit"})
+				if err != nil {
+					bb.Fatal(err)
+				}
+				chans = append(chans, ch)
+			}
+			for _, ch := range chans {
+				if resp := <-ch; resp.Err != nil {
+					bb.Fatal(resp.Err)
+				}
+			}
+			submitted += n
+		}
+	}), 0)
+	out = append(out, traceOff)
+	tsrv.Drain()
+
 	f := benchFile{
 		Schema:  "conduit-bench/v1",
 		Scale:   scale,
@@ -277,6 +315,7 @@ func runBenchJSON(path string, scale int) error {
 			"cluster_simulated_speedup_4shard":       fmt.Sprintf("%.2fx", float64(oneDev.Elapsed)/float64(fourDev.Elapsed)),
 			"open_loop_served_req_per_s":             fmt.Sprintf("%.0f", 1e9/openLoop.NsPerOp),
 			"fault_free_overhead_pct":                fmt.Sprintf("%.1f%%", (faultFree.NsPerOp/openLoop.NsPerOp-1)*100),
+			"trace_off_overhead_pct":                 fmt.Sprintf("%.1f%%", (traceOff.NsPerOp/openLoop.NsPerOp-1)*100),
 		},
 	}
 	data, err := json.MarshalIndent(f, "", "  ")

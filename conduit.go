@@ -98,6 +98,7 @@ import (
 	"conduit/internal/sim"
 	"conduit/internal/ssd"
 	"conduit/internal/stats"
+	"conduit/internal/trace"
 )
 
 // Re-exported building blocks for constructing applications.
@@ -447,25 +448,45 @@ func (d *Deployment) Compiled() *Compiled { return d.c }
 // is cloned inline. Either way the device is byte-identical. Once the
 // pool has been closed (the deployment was drained) Fork fails with
 // ErrPoolClosed instead of silently cloning.
-func (d *Deployment) Fork() (*ssd.Device, error) {
+func (d *Deployment) Fork() (*ssd.Device, error) { return d.fork(nil) }
+
+// fork serves a Fork and, when a span rides along, reports the pool
+// disposition on it. Hit vs. miss depends on the race against the
+// background refiller, so the event is confined to the operational
+// (wall-clocked) timeline — a deterministic trace never records it.
+func (d *Deployment) fork(sp *trace.Span) (*ssd.Device, error) {
 	d.poolMu.Lock()
 	p := d.pool
 	d.poolMu.Unlock()
-	if p != nil {
-		return p.Get()
+	if p == nil {
+		return d.master.Clone(), nil
 	}
-	return d.master.Clone(), nil
+	dev, hit, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	if sp.WallClocked() {
+		name := "pool_miss"
+		if hit {
+			name = "pool_hit"
+		}
+		sp.Event(name, 0)
+	}
+	return dev, nil
 }
 
 // Run executes the deployed program under the named policy on a restored
 // post-deploy device (host baselines need no device and use the compiled
 // program directly). Safe for concurrent use.
-func (d *Deployment) Run(policy string) (*RunResult, error) {
+func (d *Deployment) Run(policy string) (*RunResult, error) { return d.run(policy, nil) }
+
+// run is Run with a tracing seam threaded through the fork path.
+func (d *Deployment) run(policy string, sp *trace.Span) (*RunResult, error) {
 	switch policy {
 	case "CPU", "GPU":
 		return d.sys.runHost(d.c, policy)
 	case "Ideal":
-		dev, err := d.Fork()
+		dev, err := d.fork(sp)
 		if err != nil {
 			return nil, err
 		}
@@ -475,12 +496,31 @@ func (d *Deployment) Run(policy string) (*RunResult, error) {
 		if devicePolicy(policy) == nil {
 			return nil, errUnknownPolicy(policy)
 		}
-		dev, err := d.Fork()
+		dev, err := d.fork(sp)
 		if err != nil {
 			return nil, err
 		}
 		return runPolicyOn(dev, policy)
 	}
+}
+
+// runTraced implements the serving layer's traced-run seam: the
+// device execution becomes a "device.run" child span whose simulated
+// extent is the run's elapsed simulated time, and pool activity lands
+// on it as events.
+func (d *Deployment) runTraced(policy string, sp *trace.Span) (*RunResult, error) {
+	if sp == nil {
+		return d.run(policy, nil)
+	}
+	child := sp.Child("device.run", "", 0)
+	child.SetAttr("policy", policy)
+	r, err := d.run(policy, child)
+	if err != nil {
+		child.End(0)
+		return nil, err
+	}
+	child.End(int64(r.Elapsed))
+	return r, nil
 }
 
 // deploy provisions a fresh drive and installs the program through the

@@ -3,11 +3,13 @@ package conduit
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"conduit/internal/cluster"
 	"conduit/internal/faultinject"
 	"conduit/internal/serve"
 	"conduit/internal/sim"
+	"conduit/internal/trace"
 )
 
 // Fault-injection building blocks, re-exported like the compiler types.
@@ -170,13 +172,21 @@ func newResilient(name string, app application, inj *faultinject.Injector, rec R
 // recovery accounting. Injected dispatch-seam backend errors retry with
 // backoff up to MaxAttempts; shard-level faults are retried per shard by
 // runShard, so the two retry budgets never multiply.
-func (r *resilient) run(policy string) (*RunResult, serve.Recovery, error) {
+//
+// sp is the request's execution span (nil unless sampled). Every
+// recovery action — injected faults, retries, breaker trips, hedges,
+// fallbacks — lands on it as an event whose simulated offset is the
+// backoff penalty charged so far, so the trace is as deterministic as
+// the fault schedule that produced it.
+func (r *resilient) run(policy string, sp *trace.Span) (*RunResult, serve.Recovery, error) {
 	var rec serve.Recovery
 	max := r.rec.maxAttempts()
 	var penalty Time
 	for attempt := 1; ; attempt++ {
 		if r.inj.Dispatch(r.name, attempt) {
 			rec.Injected++
+			sp.Event("fault_injected", int64(penalty),
+				trace.Attr{Key: "kind", Value: "dispatch-error"})
 			if attempt >= max {
 				return nil, rec, fmt.Errorf("conduit: dispatch %s: backend error after %d attempts: %w",
 					r.name, attempt, ErrInjected)
@@ -185,9 +195,11 @@ func (r *resilient) run(policy string) (*RunResult, serve.Recovery, error) {
 			b := faultinject.Backoff(r.rec.backoffBase(), r.rec.backoffCap(), attempt)
 			rec.BackoffSim += b
 			penalty += b
+			sp.Event("retry", int64(penalty),
+				trace.Attr{Key: "attempt", Value: strconv.Itoa(attempt + 1)})
 			continue
 		}
-		res, err := r.runApp(policy, &rec)
+		res, err := r.runApp(policy, &rec, sp)
 		if err != nil {
 			return nil, rec, err
 		}
@@ -198,14 +210,14 @@ func (r *resilient) run(policy string) (*RunResult, serve.Recovery, error) {
 
 // runApp dispatches to the shard-aware cluster path or the single-shard
 // deployment path; unknown application kinds run unprotected.
-func (r *resilient) runApp(policy string, rec *serve.Recovery) (*RunResult, error) {
+func (r *resilient) runApp(policy string, rec *serve.Recovery, sp *trace.Span) (*RunResult, error) {
 	switch app := r.app.(type) {
 	case *Cluster:
-		return r.runCluster(app, policy, rec)
+		return r.runCluster(app, policy, rec, sp)
 	case *Deployment:
-		return r.runShard(app, 0, policy, rec)
+		return r.runShard(app, 0, policy, rec, sp)
 	default:
-		return app.Run(policy)
+		return app.runTraced(policy, sp)
 	}
 }
 
@@ -215,15 +227,22 @@ func (r *resilient) runApp(policy string, rec *serve.Recovery) (*RunResult, erro
 // keeps ties, so a deterministic tie — e.g. a fault-free duplicate —
 // never changes the merged result). Per-shard recovery accounting is
 // merged into rec in shard order.
-func (r *resilient) runCluster(cl *Cluster, policy string, rec *serve.Recovery) (*RunResult, error) {
+func (r *resilient) runCluster(cl *Cluster, policy string, rec *serve.Recovery, sp *trace.Span) (*RunResult, error) {
 	if !KnownPolicy(policy) {
 		return nil, errUnknownPolicy(policy)
 	}
 	recs := make([]serve.Recovery, len(cl.deps))
 	parts := make([]*RunResult, len(cl.deps))
 	gather := func(i int, dep *Deployment) (*RunResult, error) {
-		res, err := r.runShard(dep, i, policy, &recs[i])
+		ssp := sp.Child("cluster.shard", strconv.Itoa(i), 0)
+		ssp.SetAttr("shard", strconv.Itoa(i))
+		res, err := r.runShard(dep, i, policy, &recs[i], ssp)
 		parts[i] = res
+		if res != nil {
+			ssp.End(int64(res.Elapsed))
+		} else {
+			ssp.End(0)
+		}
 		return res, err
 	}
 	merged, err := cl.runShards(gather)
@@ -240,16 +259,28 @@ func (r *resilient) runCluster(cl *Cluster, policy string, rec *serve.Recovery) 
 		}
 		if s := cluster.HedgePick(elapsed, r.rec.hedgeThreshold()); s >= 0 {
 			rec.Hedges++
+			sp.Event("hedge", int64(parts[s].Elapsed),
+				trace.Attr{Key: "shard", Value: strconv.Itoa(s)})
 			var hrec serve.Recovery
+			hsp := sp.Child("cluster.shard", "hedge:"+strconv.Itoa(s), 0)
+			hsp.SetAttr("shard", strconv.Itoa(s))
+			hsp.SetAttr("hedge", "true")
 			dup, derr := guardShardRun(s, func() (*RunResult, error) {
-				return r.runShard(cl.deps[s], s, policy, &hrec)
+				return r.runShard(cl.deps[s], s, policy, &hrec, hsp)
 			})
+			if dup != nil {
+				hsp.End(int64(dup.Elapsed))
+			} else {
+				hsp.End(0)
+			}
 			rec.Merge(hrec)
 			if derr == nil && dup.Elapsed < parts[s].Elapsed {
 				// The hedge won: in simulated time the duplicate finishes
 				// first, the straggling primary is cancelled, and the
 				// merge sees only the winner.
 				rec.HedgeWins++
+				sp.Event("hedge_win", int64(dup.Elapsed),
+					trace.Attr{Key: "shard", Value: strconv.Itoa(s)})
 				parts[s] = dup
 				return cl.merge(parts), nil
 			}
@@ -264,7 +295,7 @@ func (r *resilient) runCluster(cl *Cluster, policy string, rec *serve.Recovery) 
 // injected fork/shard faults, retries with simulated backoff, and
 // fallback. The simulated time burnt by failed attempts and backoff is
 // charged to the winning attempt's Elapsed.
-func (r *resilient) runShard(dep *Deployment, shard int, policy string, rec *serve.Recovery) (*RunResult, error) {
+func (r *resilient) runShard(dep *Deployment, shard int, policy string, rec *serve.Recovery, sp *trace.Span) (*RunResult, error) {
 	var b *faultinject.Breaker
 	if r.brk != nil {
 		b = r.brk.Get(fmt.Sprintf("%s#%d", r.name, shard))
@@ -274,8 +305,12 @@ func (r *resilient) runShard(dep *Deployment, shard int, policy string, rec *ser
 	var lastErr error
 	for attempt := 1; attempt <= max; attempt++ {
 		if b != nil && !b.Allow() {
+			sp.Event("breaker_open", int64(penalty),
+				trace.Attr{Key: "shard", Value: strconv.Itoa(shard)})
 			if fb := r.rec.FallbackPolicy; fb != "" {
 				rec.Fallbacks++
+				sp.Event("fallback", int64(penalty),
+					trace.Attr{Key: "policy", Value: fb})
 				res, err := guardShardRun(shard, func() (*RunResult, error) { return dep.Run(fb) })
 				if err != nil {
 					return nil, err
@@ -291,8 +326,10 @@ func (r *resilient) runShard(dep *Deployment, shard int, policy string, rec *ser
 			back := faultinject.Backoff(r.rec.backoffBase(), r.rec.backoffCap(), attempt-1)
 			rec.BackoffSim += back
 			penalty += back
+			sp.Event("retry", int64(penalty),
+				trace.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
 		}
-		res, cost, err := r.attemptShard(dep, shard, policy, attempt, rec)
+		res, cost, err := r.attemptShard(dep, shard, policy, attempt, rec, sp)
 		if err == nil {
 			if b != nil {
 				b.Success()
@@ -314,7 +351,16 @@ func (r *resilient) runShard(dep *Deployment, shard int, policy string, rec *ser
 // cost is the simulated time the attempt burnt if it failed (a failed
 // run still ran; a slow-then-failed run burnt its degraded time); it is
 // zero on success, where the run's own time lives in res.Elapsed.
-func (r *resilient) attemptShard(dep *Deployment, shard int, policy string, attempt int, rec *serve.Recovery) (*RunResult, Time, error) {
+func (r *resilient) attemptShard(dep *Deployment, shard int, policy string, attempt int, rec *serve.Recovery, sp *trace.Span) (*RunResult, Time, error) {
+	// Injection events carry the attempt number rather than a simulated
+	// offset of their own: the draws happen "at" the attempt, and the
+	// deterministic offsets of interest (backoff penalties) live on the
+	// surrounding retry events.
+	inject := func(kind string) {
+		sp.Event("fault_injected", 0,
+			trace.Attr{Key: "kind", Value: kind},
+			trace.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
+	}
 	if policy == "CPU" || policy == "GPU" {
 		// Host baselines fork no device and touch no pool: only the
 		// dispatch seam applies to them.
@@ -324,9 +370,11 @@ func (r *resilient) attemptShard(dep *Deployment, shard int, policy string, atte
 	if fd := r.inj.Fork(r.name, shard, attempt); fd.Fail || fd.Poison {
 		rec.Injected++
 		if fd.Fail {
+			inject("fork-fail")
 			return nil, 0, fmt.Errorf("conduit: %s shard %d: fork acquisition failed: %w",
 				r.name, shard, ErrInjected)
 		}
+		inject("poison-fork")
 		// A poisoned clone really consumes a fork, is found unusable, and
 		// is discarded; the pool quarantines the slot and repairs it by
 		// re-cloning in the background.
@@ -335,6 +383,8 @@ func (r *resilient) attemptShard(dep *Deployment, shard int, policy string, atte
 		}
 		if p := dep.Pool(); p != nil {
 			p.Quarantine()
+			sp.Event("pool_quarantine", 0,
+				trace.Attr{Key: "attempt", Value: strconv.Itoa(attempt)})
 		}
 		return nil, 0, fmt.Errorf("conduit: %s shard %d: poisoned fork: %w",
 			r.name, shard, ErrInjected)
@@ -342,6 +392,7 @@ func (r *resilient) attemptShard(dep *Deployment, shard int, policy string, atte
 	sd := r.inj.Shard(r.name, shard, attempt)
 	if sd.Panic {
 		rec.Injected++
+		inject("shard-panic")
 		_, err := guardShardRun(shard, func() (*RunResult, error) {
 			panic(fmt.Sprintf("faultinject: injected panic (%s shard %d attempt %d)", r.name, shard, attempt))
 		})
@@ -358,11 +409,13 @@ func (r *resilient) attemptShard(dep *Deployment, shard int, policy string, atte
 		// The run completed but its result is injected-lost; its (possibly
 		// degraded) simulated time was still burnt and charges the retry.
 		rec.Injected++
+		inject("shard-fail")
 		return nil, res.Elapsed, fmt.Errorf("conduit: %s shard %d: shard run failed: %w",
 			r.name, shard, ErrInjected)
 	}
 	if sd.Slowdown > 1 {
 		rec.Injected++
+		inject("slow-shard")
 	}
 	return res, 0, nil
 }

@@ -89,7 +89,7 @@ func TestZeroRateResilientMatchesPlainRun(t *testing.T) {
 		FallbackPolicy:   "CPU",
 	})
 	var rec serve.Recovery
-	got, gotRec, err := res.run("Conduit")
+	got, gotRec, err := res.run("Conduit", nil)
 	rec = gotRec
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestZeroRateResilientMatchesPlainRun(t *testing.T) {
 	// accounting shows the duplicate dispatch.
 	eager := newResilient("aes", cl, faultinject.New(faultinject.Config{Seed: 22}),
 		RecoveryOptions{MaxAttempts: 3, Hedge: true})
-	got2, rec2, err := eager.run("Conduit")
+	got2, rec2, err := eager.run("Conduit", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestResilientDispatchRetryExhaustion(t *testing.T) {
 	}
 	inj := faultinject.New(faultinject.Config{Seed: 9, BackendError: 1})
 	res := newResilient("aes", dep, inj, RecoveryOptions{MaxAttempts: 3})
-	_, rec, err := res.run("Conduit")
+	_, rec, err := res.run("Conduit", nil)
 	if err == nil {
 		t.Fatal("certain backend errors served successfully")
 	}

@@ -67,3 +67,25 @@ func TestAllowlistCurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestObservabilityPackagesNeedNoExemptions pins the tracing tier's
+// determinism posture from the static side: internal/trace and
+// internal/metrics must produce zero raw findings — no allowlist entry,
+// no exemption. Wall-clock time enters tracing only through the
+// injected Options.Now seam (the CLIs supply it), so the packages
+// themselves never read a clock; if a time.Now or global-rand call ever
+// sneaks in, this fails before any golden trace test does.
+func TestObservabilityPackagesNeedNoExemptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes packages via go list")
+	}
+	root := moduleRoot(t)
+	raw, err := driver.Analyze(root,
+		[]string{"./internal/trace/...", "./internal/metrics/..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("analyzing observability packages: %v", err)
+	}
+	for _, f := range raw {
+		t.Errorf("observability package has a raw finding (must be clean without exemptions): %s", f)
+	}
+}

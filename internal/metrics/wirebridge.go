@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"conduit/internal/histo"
+	"conduit/internal/wire"
+)
+
+// ToWire projects a snapshot into wire metric samples, preserving the
+// canonical (name, labels) order.
+func ToWire(samples []Sample) []wire.MetricSample {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make([]wire.MetricSample, 0, len(samples))
+	for _, s := range samples {
+		ws := wire.MetricSample{
+			Name:   s.Name,
+			Labels: labelsToWire(s.Labels),
+			Kind:   wire.MetricKind(s.Kind),
+			Value:  s.Value,
+		}
+		if s.Kind == KindHistogram {
+			ws.Value = 0
+			ws.Hist = s.Hist
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// FromWire rehydrates wire metric samples into registry samples.
+func FromWire(samples []wire.MetricSample) []Sample {
+	if len(samples) == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, len(samples))
+	for _, ws := range samples {
+		s := Sample{
+			Name:   ws.Name,
+			Labels: sortLabels(labelsFromWire(ws.Labels)),
+			Kind:   Kind(ws.Kind),
+			Value:  ws.Value,
+		}
+		if s.Kind == KindHistogram {
+			s.Hist = ws.Hist
+			if s.Hist == nil {
+				s.Hist = histo.New()
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func labelsToWire(labels []Label) []wire.Attr {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]wire.Attr, len(labels))
+	for i, l := range labels {
+		out[i] = wire.Attr{Key: l.Key, Value: l.Value}
+	}
+	return out
+}
+
+func labelsFromWire(attrs []wire.Attr) []Label {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]Label, len(attrs))
+	for i, a := range attrs {
+		out[i] = Label{Key: a.Key, Value: a.Value}
+	}
+	return out
+}

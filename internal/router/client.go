@@ -95,6 +95,8 @@ func (c *Client) readLoop() {
 			id = fr.ID
 		case wire.DrainAck:
 			id = fr.ID
+		case wire.Metrics:
+			id = fr.ID
 		default:
 			c.fail(fmt.Errorf("router: target %s sent unexpected %T", c.hello.Target, f))
 			return
@@ -203,6 +205,25 @@ func (c *Client) Snapshot() (wire.Snapshot, error) {
 		return wire.Snapshot{}, err
 	}
 	return snap, nil
+}
+
+// Metrics fetches the target's current metrics snapshot.
+func (c *Client) Metrics() (wire.Metrics, error) {
+	ch, err := c.start(func(id uint64) wire.Frame { return wire.MetricsReq{ID: id} })
+	if err != nil {
+		return wire.Metrics{}, err
+	}
+	f, ok := <-ch
+	if !ok {
+		return wire.Metrics{}, c.Err()
+	}
+	m, ok := f.(wire.Metrics)
+	if !ok {
+		err := fmt.Errorf("router: target %s answered MetricsReq with %T", c.hello.Target, f)
+		c.fail(err)
+		return wire.Metrics{}, err
+	}
+	return m, nil
 }
 
 // Drain asks the target to drain and waits for its acknowledgement

@@ -9,6 +9,8 @@ import (
 
 	"conduit/internal/faultinject"
 	"conduit/internal/histo"
+	"conduit/internal/metrics"
+	"conduit/internal/trace"
 	"conduit/internal/wire"
 )
 
@@ -46,6 +48,15 @@ type Options struct {
 	Vnodes int
 	// Clock supplies wall time for latency recording and hedge timers.
 	Clock Clock
+	// Tracer records router-side placement spans (home choice, failover,
+	// hedging) for sampled requests and stamps the trace context into
+	// their wire frames, so the serving target records the request's
+	// server-side spans under the same trace ID. Nil disables routing
+	// traces. The router has no simulated clock of its own, so its spans
+	// carry the winning response's simulated elapsed time and put events
+	// at simulated offset 0; wall timestamps appear only when the
+	// tracer's Options.Now is set.
+	Tracer *trace.Tracer
 }
 
 // Stats counts the router's recovery activity — the cross-process
@@ -81,9 +92,11 @@ type Router struct {
 	breakers *faultinject.BreakerSet
 	opts     Options
 
-	mu    sync.Mutex
-	stats Stats
-	wall  *histo.Histogram // router-observed request latency (needs Clock.Now)
+	mu     sync.Mutex
+	stats  Stats
+	wall   *histo.Histogram       // router-observed request latency (needs Clock.Now)
+	seq    uint64                 // routed-request sequence; trace IDs for sampled requests
+	remote map[string][]wire.Span // spans returned by targets, keyed by target name
 }
 
 // New builds a router over connected clients. Target names (from their
@@ -101,7 +114,13 @@ func New(clients []*Client, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Router{clients: clients, ring: ring, opts: opts, wall: histo.New()}
+	r := &Router{
+		clients: clients,
+		ring:    ring,
+		opts:    opts,
+		wall:    histo.New(),
+		remote:  make(map[string][]wire.Span),
+	}
 	if opts.BreakerThreshold > 0 {
 		cooldown := opts.BreakerCooldown
 		if cooldown < 1 {
@@ -158,7 +177,21 @@ func (r *Router) Do(req wire.Request) (wire.Response, string, error) {
 func (r *Router) route(req wire.Request) (wire.Response, string, error) {
 	r.mu.Lock()
 	r.stats.Requests++
+	r.seq++
+	seq := r.seq
 	r.mu.Unlock()
+
+	// Sampled requests get a router-rooted span tree; the trace ID (the
+	// routed-request sequence number) rides the wire so the serving
+	// target's spans land in the same trace.
+	var root *trace.Span
+	if t := r.opts.Tracer; t.ShouldSample(seq) {
+		tr := t.Start(seq)
+		root = tr.Root("router.request", 0, 0)
+		root.SetAttr("workload", req.Workload)
+		root.SetAttr("policy", req.Policy)
+		root.SetAttr("home", r.Home(req.Workload))
+	}
 
 	order := r.ring.Order(req.Workload)
 	attempts := r.opts.Retries
@@ -177,6 +210,7 @@ func (r *Router) route(req wire.Request) (wire.Response, string, error) {
 			r.mu.Lock()
 			r.stats.Refusals++
 			r.mu.Unlock()
+			root.Event("breaker_open", 0, trace.Attr{Key: "target", Value: c.Name()})
 			if lastErr == nil && !answered {
 				lastErr = fmt.Errorf("target %s: %w", c.Name(), ErrBreakerOpen)
 			}
@@ -186,8 +220,11 @@ func (r *Router) route(req wire.Request) (wire.Response, string, error) {
 			r.mu.Lock()
 			r.stats.Retries++
 			r.mu.Unlock()
+			root.Event("retry", 0,
+				trace.Attr{Key: "attempt", Value: fmt.Sprint(attempt)},
+				trace.Attr{Key: "target", Value: c.Name()})
 		}
-		resp, err := r.attempt(c, req, order, attempt)
+		resp, err := r.attempt(c, req, order, attempt, root)
 		if err == nil {
 			answered = true
 			lastResp, lastName, lastErr = resp, c.Name(), nil
@@ -203,6 +240,7 @@ func (r *Router) route(req wire.Request) (wire.Response, string, error) {
 			}
 		}
 		if !retryable(resp, err) {
+			root.End(resp.ElapsedSimNS)
 			return resp, c.Name(), nil
 		}
 	}
@@ -210,31 +248,37 @@ func (r *Router) route(req wire.Request) (wire.Response, string, error) {
 		// Every attempt failed retryably but at least one target did
 		// answer: surface that final response (e.g. the injected-fault
 		// error after the ladder is exhausted).
+		root.End(lastResp.ElapsedSimNS)
 		return lastResp, lastName, nil
 	}
 	if lastErr == nil {
 		lastErr = ErrNoTargets
 	}
+	root.End(0)
 	return wire.Response{}, "", fmt.Errorf("%w: %v", ErrNoTargets, lastErr)
 }
 
 // attempt submits to one target, optionally racing a hedge on the next
-// distinct target in the preference order.
-func (r *Router) attempt(c *Client, req wire.Request, order []int, attempt int) (wire.Response, error) {
+// distinct target in the preference order. Under a sampled trace each
+// submission gets its own child span whose ID becomes the wire parent,
+// so target-side span trees hang off the exact attempt that caused them.
+func (r *Router) attempt(c *Client, req wire.Request, order []int, attempt int, root *trace.Span) (wire.Response, error) {
 	r.mu.Lock()
 	r.stats.Attempts++
 	r.mu.Unlock()
+	sp := r.attemptSpan(root, c, fmt.Sprint(attempt), &req)
 	ch, err := c.Submit(req)
 	if err != nil {
+		sp.End(0)
 		return wire.Response{}, err
 	}
 	hedging := r.opts.Hedge && r.opts.HedgeAfter > 0 && r.opts.Clock.After != nil && len(order) > 1
 	if !hedging {
-		return c.AwaitResponse(ch)
+		return r.resolve(c, sp, ch)
 	}
 	select {
 	case f, ok := <-ch:
-		return resolveResponse(c, f, ok)
+		return r.settle(c, sp, f, ok)
 	case <-r.opts.Clock.After(r.opts.HedgeAfter):
 	}
 	// Primary is straggling: duplicate to the next distinct target.
@@ -243,22 +287,68 @@ func (r *Router) attempt(c *Client, req wire.Request, order []int, attempt int) 
 	r.stats.Hedges++
 	r.stats.Attempts++
 	r.mu.Unlock()
-	hch, herr := hc.Submit(req)
+	root.Event("hedge", 0, trace.Attr{Key: "target", Value: hc.Name()})
+	hreq := req
+	hsp := r.attemptSpan(root, hc, "hedge:"+fmt.Sprint(attempt), &hreq)
+	hch, herr := hc.Submit(hreq)
 	if herr != nil {
-		return c.AwaitResponse(ch) // hedge stillborn; wait out the primary
+		hsp.End(0)
+		return r.resolve(c, sp, ch) // hedge stillborn; wait out the primary
 	}
 	select {
 	case f, ok := <-ch:
-		return resolveResponse(c, f, ok)
+		hsp.End(0)
+		return r.settle(c, sp, f, ok)
 	case f, ok := <-hch:
-		resp, err := resolveResponse(hc, f, ok)
+		sp.End(0)
+		resp, err := r.settle(hc, hsp, f, ok)
 		if err == nil {
 			r.mu.Lock()
 			r.stats.HedgeWins++
 			r.mu.Unlock()
+			root.Event("hedge_win", 0, trace.Attr{Key: "target", Value: hc.Name()})
 		}
 		return resp, err
 	}
+}
+
+// attemptSpan opens one submission's span and stamps the trace context
+// into the outgoing frame. Outside a sampled trace it leaves the frame's
+// context zeroed and returns nil.
+func (r *Router) attemptSpan(root *trace.Span, c *Client, key string, req *wire.Request) *trace.Span {
+	if root == nil {
+		return nil
+	}
+	sp := root.Child("router.attempt", key, 0)
+	sp.SetAttr("target", c.Name())
+	ctx := sp.Ctx()
+	req.Trace = wire.TraceCtx{ID: ctx.ID, Parent: ctx.Parent, Sampled: true}
+	return sp
+}
+
+// resolve awaits a submission channel, then settles its span and
+// collects any returned remote spans.
+func (r *Router) resolve(c *Client, sp *trace.Span, ch <-chan wire.Frame) (wire.Response, error) {
+	f, ok := <-ch
+	return r.settle(c, sp, f, ok)
+}
+
+// settle finishes one submission: decode the frame, end the attempt
+// span at the target's simulated elapsed time, and file the spans the
+// target sent back under its name.
+func (r *Router) settle(c *Client, sp *trace.Span, f wire.Frame, ok bool) (wire.Response, error) {
+	resp, err := resolveResponse(c, f, ok)
+	if err != nil {
+		sp.End(0)
+		return resp, err
+	}
+	sp.End(resp.ElapsedSimNS)
+	if sp != nil && len(resp.Spans) > 0 {
+		r.mu.Lock()
+		r.remote[c.Name()] = append(r.remote[c.Name()], resp.Spans...)
+		r.mu.Unlock()
+	}
+	return resp, nil
 }
 
 func resolveResponse(c *Client, f wire.Frame, ok bool) (wire.Response, error) {
@@ -336,16 +426,70 @@ func (r *Router) Snapshot() (fleet Fleet, missing []string) {
 	return fleet, missing
 }
 
+// TargetDrain pairs one target's name with its drain acknowledgement.
+type TargetDrain struct {
+	Target string
+	Ack    wire.DrainAck
+}
+
 // DrainAll drains every live target in client order and returns their
-// acknowledgements (final pool counters) keyed by target name.
-func (r *Router) DrainAll() map[string]wire.DrainAck {
-	acks := make(map[string]wire.DrainAck)
+// acknowledgements (final pool counters). The ordering contract, which
+// fleet drain reports rely on for byte-stable output: entries are
+// sorted by target name, and each ack's pool rows are already
+// name-sorted by the target (the wire-canonical order), so walking the
+// result front to back visits (target, pool) pairs in one global
+// deterministic order.
+func (r *Router) DrainAll() []TargetDrain {
+	var acks []TargetDrain
 	for _, c := range r.clients {
 		if ack, err := c.Drain(); err == nil {
-			acks[c.Name()] = ack
+			acks = append(acks, TargetDrain{Target: c.Name(), Ack: ack})
 		}
 	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i].Target < acks[j].Target })
 	return acks
+}
+
+// RemoteSpans returns the spans targets attached to sampled responses,
+// rehydrated, keyed by target name. Merge with the router's own
+// Tracer.Spans() for the fleet-wide flight record; cmd/conduit-router
+// writes exactly that merge as a Perfetto trace with one process per
+// target.
+func (r *Router) RemoteSpans() map[string][]*trace.Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]*trace.Span, len(r.remote))
+	for name, spans := range r.remote {
+		out[name] = trace.FromWire(spans)
+	}
+	return out
+}
+
+// FleetMetrics polls every live target's metrics snapshot, relabels
+// each series with its target's name, and merges them with the
+// router's own series into one fleet-wide scrape. Targets that fail to
+// answer are skipped and listed in missing.
+func (r *Router) FleetMetrics() (samples []metrics.Sample, missing []string) {
+	reg := metrics.New()
+	for _, c := range r.clients {
+		m, err := c.Metrics()
+		if err != nil {
+			missing = append(missing, c.Name())
+			continue
+		}
+		for _, s := range metrics.Relabel(metrics.FromWire(m.Samples), "target", m.Target) {
+			reg.Add(s)
+		}
+	}
+	st := r.Stats()
+	reg.Count("conduit_router_requests_total", st.Requests)
+	reg.Count("conduit_router_attempts_total", st.Attempts)
+	reg.Count("conduit_router_retries_total", st.Retries)
+	reg.Count("conduit_router_hedges_total", st.Hedges)
+	reg.Count("conduit_router_hedge_wins_total", st.HedgeWins)
+	reg.Count("conduit_router_refusals_total", st.Refusals)
+	reg.MergeHist("conduit_router_wall_ns", r.Wall())
+	return reg.Snapshot(), missing
 }
 
 // Close tears down every client connection without draining targets.

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"conduit/internal/trace"
 )
 
 // gateRunner blocks every execution until the gate opens, and counts how
@@ -22,7 +24,7 @@ func newGateRunner() *gateRunner {
 	return &gateRunner{gate: make(chan struct{}), started: make(chan string, 64)}
 }
 
-func (g *gateRunner) RunCell(workload, policy string) (Outcome, error) {
+func (g *gateRunner) RunCell(workload, policy string, _ *trace.Span) (Outcome, error) {
 	atomic.AddInt64(&g.execs, 1)
 	g.started <- workload
 	<-g.gate

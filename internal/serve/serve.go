@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"conduit/internal/histo"
+	"conduit/internal/metrics"
 	"conduit/internal/sim"
 	"conduit/internal/stats"
+	"conduit/internal/trace"
 )
 
 // Request names one offload execution issued on behalf of a tenant.
@@ -29,6 +31,10 @@ type Request struct {
 	// fork. A served request that finishes within Deadline counts toward
 	// the tenant's SLO attainment.
 	Deadline time.Duration
+	// Trace is the issuer's trace context for a request that arrived
+	// over the wire: when Sampled is set the engine records spans into
+	// the issuer's trace instead of consulting its own sampler.
+	Trace trace.Ctx
 }
 
 // key is the batching identity: requests with equal keys compute the same
@@ -92,16 +98,20 @@ func (r *Recovery) Merge(o Recovery) {
 
 // Runner executes one (workload, policy) cell. Implementations must be
 // safe for concurrent use; the engine calls RunCell from many workers.
+// sp is the request's execution span — nil unless the request is
+// sampled — and backends annotate it with child spans and events
+// (shard scatter, pool activity, recovery work) on the request's
+// simulated timeline.
 type Runner interface {
-	RunCell(workload, policy string) (Outcome, error)
+	RunCell(workload, policy string, sp *trace.Span) (Outcome, error)
 }
 
 // RunnerFunc adapts a function to the Runner interface.
-type RunnerFunc func(workload, policy string) (Outcome, error)
+type RunnerFunc func(workload, policy string, sp *trace.Span) (Outcome, error)
 
 // RunCell implements Runner.
-func (f RunnerFunc) RunCell(workload, policy string) (Outcome, error) {
-	return f(workload, policy)
+func (f RunnerFunc) RunCell(workload, policy string, sp *trace.Span) (Outcome, error) {
+	return f(workload, policy, sp)
 }
 
 // Config tunes an Engine.
@@ -122,6 +132,11 @@ type Config struct {
 	// most one execution per distinct (workload, policy) ever runs. It
 	// subsumes Coalesce.
 	Memoize bool
+	// Tracer, when non-nil, records per-request spans. Requests are
+	// sampled by admission sequence (Tracer's SampleEvery) or by an
+	// incoming wire trace context; with a nil Tracer every tracing site
+	// degenerates to a nil check.
+	Tracer *trace.Tracer
 }
 
 // Response is the served result of one request.
@@ -137,6 +152,9 @@ type Response struct {
 	// Shared marks a response served by an execution (or memoized result)
 	// that another request started.
 	Shared bool
+	// Trace is the request's recorded trace; nil unless the request was
+	// sampled.
+	Trace *trace.Trace
 }
 
 // ErrDraining is returned by Do and Submit once Drain has begun.
@@ -163,8 +181,9 @@ type Engine struct {
 	queue   chan *pending
 	workers sync.WaitGroup
 
-	admit   sync.Mutex // guards closed; admitWG.Add races with Drain
+	admit   sync.Mutex // guards closed and seq; admitWG.Add races with Drain
 	closed  bool
+	seq     uint64         // 1-based admission sequence; drives trace sampling
 	admitWG sync.WaitGroup // Do calls between admission and completion
 
 	flight FlightGroup
@@ -177,8 +196,15 @@ type Engine struct {
 type pending struct {
 	req       Request
 	submitted time.Time
-	resp      Response
-	done      chan struct{}
+	// seq is the request's 1-based admission sequence, stamped under the
+	// admission lock. Sheds never consume a sequence number, so the
+	// sampled set of an open-loop schedule does not depend on which
+	// submissions happened to shed.
+	seq  uint64
+	resp Response
+	done chan struct{}
+	// root is the request's root span; nil unless sampled.
+	root *trace.Span
 	// notify, when non-nil (Submit), receives the finished response; it
 	// is buffered so completion never blocks on a slow collector.
 	notify chan *Response
@@ -252,6 +278,8 @@ func (e *Engine) Do(req Request) (*Response, error) {
 		e.admit.Unlock()
 		return nil, ErrDraining
 	}
+	e.seq++
+	p.seq = e.seq
 	e.admitWG.Add(1)
 	e.admit.Unlock()
 	defer e.admitWG.Done()
@@ -283,9 +311,12 @@ func (e *Engine) Submit(req Request) (<-chan *Response, error) {
 	}
 	// The try-send happens under the admission lock, so it is ordered
 	// against Drain's closed=true (same lock) and therefore can never
-	// race close(e.queue).
+	// race close(e.queue). The sequence number is committed only on
+	// admission, so a shed never burns one.
+	p.seq = e.seq + 1
 	select {
 	case e.queue <- p:
+		e.seq++
 		e.admit.Unlock()
 		return p.notify, nil
 	default:
@@ -307,22 +338,26 @@ func (e *Engine) Submit(req Request) (<-chan *Response, error) {
 func (e *Engine) serveOne(p *pending) {
 	start := time.Now()
 	p.resp.Queued = start.Sub(p.submitted)
+	e.startTrace(p)
 	// Deadline gate: a request whose budget expired in the queue is
 	// dropped here, before the backend — and in particular before the
 	// coalescing flight group — so an expired request can neither consume
 	// a pooled fork nor lead an execution other requests join.
 	if p.req.Deadline > 0 && p.resp.Queued > p.req.Deadline {
+		p.root.Event("deadline_expired", 0)
 		e.finish(p, nil, ErrDeadlineExceeded, false)
 		return
 	}
 	exec := func() (v interface{}, err error) {
+		run := p.root.Child("serve.run", "", 0)
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("serve: %s under %s panicked: %v",
 					p.req.Workload, p.req.Policy, r)
 			}
 		}()
-		out, err := e.runner.RunCell(p.req.Workload, p.req.Policy)
+		out, err := e.runner.RunCell(p.req.Workload, p.req.Policy, run)
+		run.End(int64(out.Elapsed))
 		// The outcome travels even with a non-nil error: a failed request
 		// may still carry recovery accounting (retries attempted, backoff
 		// charged) that the tenant's books must not lose.
@@ -353,6 +388,32 @@ func (e *Engine) serveOne(p *pending) {
 	e.finish(p, v, err, false)
 }
 
+// startTrace decides whether the admitted request is sampled and, if
+// so, opens its trace and root span. A wire context with the Sampled
+// bit continues the issuer's trace under the issuer's trace ID; a
+// locally sampled request starts a fresh trace whose ID is its
+// admission sequence — deterministic for a given schedule.
+func (e *Engine) startTrace(p *pending) {
+	t := e.cfg.Tracer
+	if t == nil {
+		return
+	}
+	var tr *trace.Trace
+	switch {
+	case p.req.Trace.Sampled && p.req.Trace.ID != 0:
+		tr = t.Start(p.req.Trace.ID)
+	case t.ShouldSample(p.seq):
+		tr = t.Start(p.seq)
+	default:
+		return
+	}
+	p.resp.Trace = tr
+	p.root = tr.Root("serve.request", p.req.Trace.Parent, 0)
+	p.root.SetAttr("tenant", p.req.Tenant)
+	p.root.SetAttr("workload", p.req.Workload)
+	p.root.SetAttr("policy", p.req.Policy)
+}
+
 // finish completes a request: record the outcome, account it, release
 // the blocked Do, and deliver the response to an open-loop submitter.
 func (e *Engine) finish(p *pending, v interface{}, err error, shared bool) {
@@ -363,6 +424,10 @@ func (e *Engine) finish(p *pending, v interface{}, err error, shared bool) {
 	p.resp.Err = err
 	p.resp.Shared = shared
 	p.resp.Latency = time.Since(p.submitted)
+	if shared {
+		p.root.Event("coalesced", 0)
+	}
+	p.root.End(int64(p.resp.Outcome.Elapsed))
 	e.account(&p.resp, p.req.Tenant)
 	close(p.done)
 	if p.notify != nil {
@@ -558,4 +623,32 @@ func (e *Engine) Report() *stats.Table {
 	}
 	row("TOTAL", &e.all)
 	return t
+}
+
+// FillMetrics exposes the engine's accounting as named, labeled series
+// in reg: per-tenant counters for the request ledger and recovery work,
+// a per-tenant energy gauge, and wall-clock latency histograms (one per
+// tenant plus the all-tenants aggregate). The registry is filled at
+// scrape time from the same books Report renders, so the hot path pays
+// nothing for the metrics surface.
+func (e *Engine) FillMetrics(reg *metrics.Registry) {
+	e.acct.Lock()
+	defer e.acct.Unlock()
+	for name, t := range e.tenants {
+		lbl := metrics.Label{Key: "tenant", Value: name}
+		reg.Count("conduit_serve_requests_total", t.requests, lbl)
+		reg.Count("conduit_serve_errors_total", t.errors, lbl)
+		reg.Count("conduit_serve_shed_total", t.shed, lbl)
+		reg.Count("conduit_serve_expired_total", t.expired, lbl)
+		reg.Count("conduit_serve_shared_total", t.shared, lbl)
+		reg.Count("conduit_serve_attained_total", t.attained, lbl)
+		reg.Count("conduit_serve_retries_total", t.recovery.Retries, lbl)
+		reg.Count("conduit_serve_hedges_total", t.recovery.Hedges, lbl)
+		reg.Count("conduit_serve_fallbacks_total", t.recovery.Fallbacks, lbl)
+		reg.Count("conduit_serve_faults_injected_total", t.recovery.Injected, lbl)
+		reg.Count("conduit_serve_sim_ns_total", int64(t.sim), lbl)
+		reg.SetGauge("conduit_serve_energy_joules", t.energyJ, lbl)
+		reg.MergeHist("conduit_serve_latency_wall_ns", t.wall, lbl)
+	}
+	reg.MergeHist("conduit_serve_latency_wall_ns", e.all.wall)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"conduit/internal/sim"
+	"conduit/internal/trace"
 )
 
 // countingRunner counts executions per key and returns a deterministic
@@ -20,7 +21,7 @@ type countingRunner struct {
 	fail  map[string]error
 }
 
-func (r *countingRunner) RunCell(workload, policy string) (Outcome, error) {
+func (r *countingRunner) RunCell(workload, policy string, _ *trace.Span) (Outcome, error) {
 	atomic.AddInt64(&r.execs, 1)
 	if r.delay > 0 {
 		time.Sleep(r.delay)
@@ -203,7 +204,7 @@ func TestEngineDrainRejectsAndCompletes(t *testing.T) {
 // server; the worker keeps serving.
 func TestEngineContainsBackendPanics(t *testing.T) {
 	bomb := int64(1)
-	r := RunnerFunc(func(workload, policy string) (Outcome, error) {
+	r := RunnerFunc(func(workload, policy string, _ *trace.Span) (Outcome, error) {
 		if workload == "bomb" && atomic.AddInt64(&bomb, -1) >= 0 {
 			panic("backend exploded")
 		}
@@ -294,7 +295,7 @@ type recoveryRunner struct {
 	fail map[string]error
 }
 
-func (r *recoveryRunner) RunCell(workload, policy string) (Outcome, error) {
+func (r *recoveryRunner) RunCell(workload, policy string, _ *trace.Span) (Outcome, error) {
 	if err := r.fail[workload+"|"+policy]; err != nil {
 		return Outcome{Recovery: r.rec}, err
 	}

@@ -39,6 +39,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fallback := fs.String("fallback", "", "policy served while a breaker is open (empty refuses)")
 	faultlog := fs.String("faultlog", "", "write the injected-fault schedule as JSONL to `file` on drain")
 	faultreplay := fs.String("faultreplay", "", "replay the recorded fault schedule in `file` instead of drawing from -faults")
+	tracesample := fs.Int("tracesample", 0, "trace every Nth locally submitted request (0 = only wire-sampled requests)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,6 +55,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			Prefork:     *prefork,
 			Coalesce:    *coalesce,
 			Memoize:     *memoize,
+			// Targets always arm the tracer so wire-sampled requests can be
+			// recorded on demand, and always leave the wall clock unset: a
+			// target's spans cross the wire, where only the deterministic
+			// simulated timeline is welcome.
+			Trace: &conduit.TraceOptions{SampleEvery: *tracesample},
 		},
 	}
 	if *mix != "all" && *mix != "" {

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	conduit "conduit"
+	"conduit/internal/metrics"
 	"conduit/internal/serve"
+	"conduit/internal/trace"
 	"conduit/internal/wire"
 	"conduit/internal/workloads"
 )
@@ -223,6 +225,14 @@ func (s *Server) handleConn(raw net.Conn) {
 			if err := c.writeFrame(s.snapshot(fr.ID)); err != nil {
 				return
 			}
+		case wire.MetricsReq:
+			if err := c.writeFrame(wire.Metrics{
+				ID:      fr.ID,
+				Target:  s.opts.Name,
+				Samples: metrics.ToWire(s.srv.Metrics()),
+			}); err != nil {
+				return
+			}
 		case wire.Drain:
 			// Unregister this connection first so Drain's teardown loop
 			// does not close it out from under the ack; the deferred
@@ -253,6 +263,11 @@ func (s *Server) handleRequest(c *connState, req wire.Request) {
 		Workload: req.Workload,
 		Policy:   req.Policy,
 		Deadline: time.Duration(req.DeadlineNS),
+		Trace: conduit.TraceCtx{
+			ID:      req.Trace.ID,
+			Parent:  req.Trace.Parent,
+			Sampled: req.Trace.Sampled,
+		},
 	})
 	if err != nil {
 		// Shed at admission or draining: answered inline, never executed.
@@ -316,16 +331,21 @@ func (s *Server) snapshot(id uint64) wire.Snapshot {
 
 // WireResponse projects one served response (or admission error) onto
 // its outcome capsule. The projection keeps only deterministic fields —
-// simulated elapsed time, energy, recovery accounting, and the result
-// summary — so the capsule for a request is identical whether the
-// serving engine ran in this process or across the wire, which is the
-// identity wiretest pins.
+// simulated elapsed time, energy, recovery accounting, the result
+// summary, and the sampled spans' simulated timeline — so the capsule
+// for a request is identical whether the serving engine ran in this
+// process or across the wire, which is the identity wiretest pins.
 func WireResponse(id uint64, resp *conduit.Response, err error) wire.Response {
 	out := wire.Response{ID: id}
 	if resp != nil {
 		out.ElapsedSimNS = int64(resp.Outcome.Elapsed)
 		out.EnergyJ = resp.Outcome.EnergyJ
 		out.Recovery = wireRecovery(resp.Outcome.Recovery)
+		if resp.Trace != nil {
+			// Spans ride home on error responses too: a failed request's
+			// retry and fault events are exactly what the trace is for.
+			out.Spans = trace.ToWire(resp.Trace.Spans())
+		}
 	}
 	if err != nil {
 		out.Code = codeFor(err)

@@ -1,0 +1,96 @@
+package trace
+
+import "conduit/internal/wire"
+
+// ToWire projects spans into their wire form: identity, simulated
+// timeline, annotations. Wall-clock fields are dropped on the floor —
+// the wire tier's contract is that responses carry only quantities
+// both ends agree on deterministically, and a target's wall clock is
+// not one of them. The result is sorted by (TraceID, ID).
+func ToWire(spans []*Span) []wire.Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := make([]*Span, len(spans))
+	copy(sorted, spans)
+	SortSpans(sorted)
+	out := make([]wire.Span, 0, len(sorted))
+	for _, sp := range sorted {
+		ws := wire.Span{
+			TraceID:    sp.TraceID,
+			ID:         sp.ID,
+			Parent:     sp.Parent,
+			Name:       sp.Name,
+			SimStartNS: sp.SimStartNS,
+			SimEndNS:   sp.SimEndNS,
+			Attrs:      attrsToWire(sp.Attrs),
+		}
+		if len(sp.Events) > 0 {
+			ws.Events = make([]wire.SpanEvent, 0, len(sp.Events))
+			for _, ev := range sp.Events {
+				ws.Events = append(ws.Events, wire.SpanEvent{
+					Name:  ev.Name,
+					SimNS: ev.SimNS,
+					Attrs: attrsToWire(ev.Attrs),
+				})
+			}
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// FromWire rehydrates wire spans for merging into a local export. The
+// results carry no backing trace: they can be sorted and exported but
+// not extended, and their wall fields stay zero.
+func FromWire(spans []wire.Span) []*Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]*Span, 0, len(spans))
+	for _, ws := range spans {
+		sp := &Span{
+			TraceID:    ws.TraceID,
+			ID:         ws.ID,
+			Parent:     ws.Parent,
+			Name:       ws.Name,
+			SimStartNS: ws.SimStartNS,
+			SimEndNS:   ws.SimEndNS,
+			Attrs:      attrsFromWire(ws.Attrs),
+		}
+		if len(ws.Events) > 0 {
+			sp.Events = make([]Event, 0, len(ws.Events))
+			for _, ev := range ws.Events {
+				sp.Events = append(sp.Events, Event{
+					Name:  ev.Name,
+					SimNS: ev.SimNS,
+					Attrs: attrsFromWire(ev.Attrs),
+				})
+			}
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+func attrsToWire(attrs []Attr) []wire.Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]wire.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = wire.Attr{Key: a.Key, Value: a.Value}
+	}
+	return out
+}
+
+func attrsFromWire(attrs []wire.Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = Attr{Key: a.Key, Value: a.Value}
+	}
+	return out
+}

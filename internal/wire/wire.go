@@ -14,9 +14,16 @@ import (
 // buffer, so a hostile peer cannot make a conduit process allocate more
 // than MaxFrame bytes per frame.
 const (
-	// Version is the protocol revision; peers reject frames from any
-	// other revision outright.
-	Version = 1
+	// Version is the protocol revision encoders emit. Decoders accept
+	// MinVersion through Version — strictly: a version-1 body must
+	// contain exactly the version-1 fields, a version-2 body must
+	// contain the trace fields — and reject anything else outright.
+	Version = 2
+	// MinVersion is the oldest revision decoders still accept.
+	// Version 1 predates trace propagation and the metrics frames: a
+	// v1 Request decodes with a zero TraceCtx, a v1 Response with no
+	// spans, and the metrics frame types are v2-only.
+	MinVersion = 1
 	// MaxFrame bounds one frame's payload (version byte, type byte, and
 	// body) on the wire.
 	MaxFrame = 1 << 20
@@ -41,9 +48,11 @@ const (
 	TypeSnapshot    Type = 5 // target -> router
 	TypeDrain       Type = 6 // router -> target: drain and shut down
 	TypeDrainAck    Type = 7 // target -> router, after the drain finished
+	TypeMetricsReq  Type = 8 // router -> target: scrape the metrics registry (v2+)
+	TypeMetrics     Type = 9 // target -> router: one metrics snapshot (v2+)
 )
 
-// Frame is one protocol message. Exactly the seven wire structs
+// Frame is one protocol message. Exactly the nine wire structs
 // implement it.
 type Frame interface{ frameType() Type }
 
@@ -54,6 +63,8 @@ func (SnapshotReq) frameType() Type { return TypeSnapshotReq }
 func (Snapshot) frameType() Type    { return TypeSnapshot }
 func (Drain) frameType() Type       { return TypeDrain }
 func (DrainAck) frameType() Type    { return TypeDrainAck }
+func (MetricsReq) frameType() Type  { return TypeMetricsReq }
+func (Metrics) frameType() Type     { return TypeMetrics }
 
 // Hello is the target's greeting, sent once when a connection opens: it
 // names the target, its shard fan-out, and the workloads it serves, so
@@ -80,6 +91,22 @@ type Request struct {
 	// targets accept; the field exists so a future router can split one
 	// request across targets that each own part of a dataset.
 	Shards []uint32
+	// Trace is the issuer's trace context. The field is optional in
+	// meaning (the zero value is "untraced") but canonical on the wire:
+	// every version-2 Request carries it, and a version-1 Request
+	// decodes with the zero value.
+	Trace TraceCtx
+}
+
+// TraceCtx carries distributed-trace identity with a request, so the
+// target's spans join the issuer's trace instead of starting their own.
+type TraceCtx struct {
+	// ID is the trace ID; 0 means untraced.
+	ID uint64
+	// Parent is the issuer's span that dispatched this request.
+	Parent uint64
+	// Sampled asks the target to record spans for this request.
+	Sampled bool
 }
 
 // Code classifies a response, mirroring the serving tier's typed errors
@@ -149,6 +176,73 @@ type Response struct {
 	Recovery Recovery
 	// Result is present iff Code is CodeOK.
 	Result *Result
+	// Spans are the target-side trace spans for a sampled request,
+	// empty otherwise. Like every other Response field they carry only
+	// deterministic simulated quantities — span wall-clock fields never
+	// cross the wire. Version-1 responses decode with no spans.
+	Spans []Span
+}
+
+// Attr is one key/value annotation on a span, an event, or a metric
+// sample's label set.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// SpanEvent is one point-in-time occurrence inside a wire span, on the
+// request's simulated timeline.
+type SpanEvent struct {
+	Name  string
+	SimNS int64
+	Attrs []Attr
+}
+
+// Span is one trace span as it crosses the wire: identity, simulated
+// timeline, annotations. Wall-clock fields are deliberately absent —
+// the wire carries only quantities both ends can agree on
+// deterministically.
+type Span struct {
+	TraceID    uint64
+	ID         uint64
+	Parent     uint64
+	Name       string
+	SimStartNS int64
+	SimEndNS   int64
+	Attrs      []Attr
+	Events     []SpanEvent
+}
+
+// MetricsReq asks the target for a metrics snapshot (version 2+).
+type MetricsReq struct{ ID uint64 }
+
+// MetricKind tags a metric sample's type on the wire.
+type MetricKind uint8
+
+// The metric kinds.
+const (
+	MetricCounter   MetricKind = 0
+	MetricGauge     MetricKind = 1
+	MetricHistogram MetricKind = 2
+)
+
+// MetricSample is one named, labeled series value. Counters and gauges
+// carry Value; histograms carry Hist (and no Value byte on the wire).
+type MetricSample struct {
+	Name   string
+	Labels []Attr
+	Kind   MetricKind
+	Value  float64
+	// Hist is non-nil iff Kind is MetricHistogram.
+	Hist *histo.Histogram
+}
+
+// Metrics is the target's metrics snapshot: the registry's samples in
+// canonical (name, labels) order (version 2+).
+type Metrics struct {
+	ID      uint64
+	Target  string
+	Samples []MetricSample
 }
 
 // SnapshotReq asks the target for its accounting snapshot.
@@ -268,6 +362,9 @@ func Append(dst []byte, f Frame) []byte {
 		for _, s := range fr.Shards {
 			dst = appendUvarint(dst, uint64(s))
 		}
+		dst = binary.BigEndian.AppendUint64(dst, fr.Trace.ID)
+		dst = binary.BigEndian.AppendUint64(dst, fr.Trace.Parent)
+		dst = appendBool(dst, fr.Trace.Sampled)
 	case Response:
 		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
 		dst = append(dst, byte(fr.Code))
@@ -293,6 +390,7 @@ func Append(dst []byte, f Frame) []byte {
 				dst = appendInt64(dst, c.Value)
 			}
 		}
+		dst = appendSpans(dst, fr.Spans)
 	case SnapshotReq:
 		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
 	case Snapshot:
@@ -324,8 +422,59 @@ func Append(dst []byte, f Frame) []byte {
 	case DrainAck:
 		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
 		dst = appendPools(dst, fr.Pools)
+	case MetricsReq:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+	case Metrics:
+		dst = binary.BigEndian.AppendUint64(dst, fr.ID)
+		dst = appendString(dst, fr.Target)
+		dst = appendUvarint(dst, uint64(len(fr.Samples)))
+		for _, m := range fr.Samples {
+			dst = appendString(dst, m.Name)
+			dst = appendAttrs(dst, m.Labels)
+			dst = append(dst, byte(m.Kind))
+			if m.Kind == MetricHistogram {
+				h := m.Hist
+				if h == nil {
+					h = histo.New()
+				}
+				blob := h.MarshalBinary()
+				dst = appendUvarint(dst, uint64(len(blob)))
+				dst = append(dst, blob...)
+			} else {
+				dst = appendF64(dst, m.Value)
+			}
+		}
 	default:
 		panic(fmt.Sprintf("wire: Append of unknown frame %T", f))
+	}
+	return dst
+}
+
+func appendAttrs(dst []byte, attrs []Attr) []byte {
+	dst = appendUvarint(dst, uint64(len(attrs)))
+	for _, a := range attrs {
+		dst = appendString(dst, a.Key)
+		dst = appendString(dst, a.Value)
+	}
+	return dst
+}
+
+func appendSpans(dst []byte, spans []Span) []byte {
+	dst = appendUvarint(dst, uint64(len(spans)))
+	for _, s := range spans {
+		dst = binary.BigEndian.AppendUint64(dst, s.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, s.ID)
+		dst = binary.BigEndian.AppendUint64(dst, s.Parent)
+		dst = appendString(dst, s.Name)
+		dst = appendInt64(dst, s.SimStartNS)
+		dst = appendInt64(dst, s.SimEndNS)
+		dst = appendAttrs(dst, s.Attrs)
+		dst = appendUvarint(dst, uint64(len(s.Events)))
+		for _, e := range s.Events {
+			dst = appendString(dst, e.Name)
+			dst = appendInt64(dst, e.SimNS)
+			dst = appendAttrs(dst, e.Attrs)
+		}
 	}
 	return dst
 }
@@ -404,9 +553,12 @@ func ReadFrame(r io.Reader) (Frame, error) {
 // ---- decoding ----
 
 // reader is a strict cursor over one frame payload: every read is
-// bounds-checked, every length is validated before allocation.
+// bounds-checked, every length is validated before allocation. ver is
+// the frame's protocol revision, so version-gated fields know whether
+// to expect themselves.
 type reader struct {
-	b []byte
+	b   []byte
+	ver byte
 }
 
 var errShort = errors.New("wire: truncated frame")
@@ -557,9 +709,10 @@ func Decode(payload []byte) (Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != Version {
-		return nil, fmt.Errorf("wire: protocol version %d, want %d", ver, Version)
+	if ver < MinVersion || ver > Version {
+		return nil, fmt.Errorf("wire: protocol version %d, want %d..%d", ver, MinVersion, Version)
 	}
+	r.ver = ver
 	t, err := r.byte()
 	if err != nil {
 		return nil, err
@@ -590,6 +743,19 @@ func Decode(payload []byte) (Frame, error) {
 			ack.Pools, err = r.pools()
 			f = ack
 		}
+	case TypeMetricsReq:
+		if r.ver < 2 {
+			return nil, fmt.Errorf("wire: MetricsReq frame in version-%d payload", r.ver)
+		}
+		var id uint64
+		if id, err = r.u64(); err == nil {
+			f = MetricsReq{ID: id}
+		}
+	case TypeMetrics:
+		if r.ver < 2 {
+			return nil, fmt.Errorf("wire: Metrics frame in version-%d payload", r.ver)
+		}
+		f, err = r.metrics()
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", t)
 	}
@@ -670,6 +836,17 @@ func (r *reader) request() (Frame, error) {
 			q.Shards[i] = uint32(s)
 		}
 	}
+	if r.ver >= 2 {
+		if q.Trace.ID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if q.Trace.Parent, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if q.Trace.Sampled, err = r.bool(); err != nil {
+			return nil, err
+		}
+	}
 	return q, nil
 }
 
@@ -742,7 +919,150 @@ func (r *reader) response() (Frame, error) {
 		}
 		p.Result = res
 	}
+	if r.ver >= 2 {
+		if p.Spans, err = r.spans(); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+func (r *reader) attrs() ([]Attr, error) {
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	attrs := make([]Attr, n)
+	for i := range attrs {
+		if attrs[i].Key, err = r.string(); err != nil {
+			return nil, err
+		}
+		if attrs[i].Value, err = r.string(); err != nil {
+			return nil, err
+		}
+	}
+	return attrs, nil
+}
+
+func (r *reader) spans() ([]Span, error) {
+	n, err := r.count(29)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	spans := make([]Span, n)
+	for i := range spans {
+		s := &spans[i]
+		if s.TraceID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if s.ID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if s.Parent, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if s.Name, err = r.string(); err != nil {
+			return nil, err
+		}
+		if s.Name == "" {
+			return nil, errors.New("wire: span with empty name")
+		}
+		if s.SimStartNS, err = r.int64(); err != nil {
+			return nil, err
+		}
+		if s.SimEndNS, err = r.int64(); err != nil {
+			return nil, err
+		}
+		if s.SimEndNS < s.SimStartNS {
+			return nil, fmt.Errorf("wire: span %q ends at %d before start %d", s.Name, s.SimEndNS, s.SimStartNS)
+		}
+		if s.Attrs, err = r.attrs(); err != nil {
+			return nil, err
+		}
+		m, err := r.count(3)
+		if err != nil {
+			return nil, err
+		}
+		if m > 0 {
+			s.Events = make([]SpanEvent, m)
+			for j := range s.Events {
+				e := &s.Events[j]
+				if e.Name, err = r.string(); err != nil {
+					return nil, err
+				}
+				if e.Name == "" {
+					return nil, errors.New("wire: span event with empty name")
+				}
+				if e.SimNS, err = r.int64(); err != nil {
+					return nil, err
+				}
+				if e.Attrs, err = r.attrs(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return spans, nil
+}
+
+func (r *reader) metrics() (Frame, error) {
+	var m Metrics
+	var err error
+	if m.ID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.Target, err = r.string(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(3)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Samples = make([]MetricSample, n)
+		for i := range m.Samples {
+			s := &m.Samples[i]
+			if s.Name, err = r.string(); err != nil {
+				return nil, err
+			}
+			if s.Name == "" {
+				return nil, errors.New("wire: metric sample with empty name")
+			}
+			if s.Labels, err = r.attrs(); err != nil {
+				return nil, err
+			}
+			kind, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			if kind > byte(MetricHistogram) {
+				return nil, fmt.Errorf("wire: unknown metric kind %d", kind)
+			}
+			s.Kind = MetricKind(kind)
+			if s.Kind == MetricHistogram {
+				blobLen, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if blobLen > uint64(len(r.b)) {
+					return nil, errShort
+				}
+				if s.Hist, err = histo.Decode(r.b[:blobLen]); err != nil {
+					return nil, fmt.Errorf("wire: metric histogram: %w", err)
+				}
+				r.b = r.b[blobLen:]
+			} else if s.Value, err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
 }
 
 func (r *reader) snapshot() (Frame, error) {

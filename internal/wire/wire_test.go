@@ -48,6 +48,27 @@ func sampleFrames() []Frame {
 		Drain{ID: 14},
 		DrainAck{ID: 15, Pools: []PoolRow{{Name: "aes", Idle: 0, Closed: true}}},
 		DrainAck{ID: 16},
+		Request{ID: 17, Tenant: "tenant-02", Workload: "aes", Policy: "Conduit",
+			Trace: TraceCtx{ID: 0xfeedface, Parent: 0x1234, Sampled: true}},
+		Response{ID: 18, Code: CodeOK, ElapsedSimNS: 555, Result: &Result{Policy: "CPU"},
+			Spans: []Span{
+				{TraceID: 0xfeedface, ID: 2, Parent: 1, Name: "serve.request",
+					SimStartNS: 0, SimEndNS: 555,
+					Attrs: []Attr{{Key: "tenant", Value: "tenant-02"}},
+					Events: []SpanEvent{{Name: "retry", SimNS: 100,
+						Attrs: []Attr{{Key: "attempt", Value: "1"}}}}},
+				{TraceID: 0xfeedface, ID: 3, Parent: 2, Name: "serve.run",
+					SimStartNS: -10, SimEndNS: 545},
+			}},
+		MetricsReq{ID: 19},
+		Metrics{ID: 20, Target: "target-0", Samples: []MetricSample{
+			{Name: "conduit_serve_requests_total",
+				Labels: []Attr{{Key: "tenant", Value: "tenant-00"}},
+				Kind:   MetricCounter, Value: 12},
+			{Name: "conduit_pool_idle", Kind: MetricGauge, Value: -2.5},
+			{Name: "conduit_serve_latency_wall_ns", Kind: MetricHistogram, Hist: wall},
+		}},
+		Metrics{ID: 21, Target: "empty"},
 	}
 }
 
@@ -119,6 +140,16 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"ok with error":      Response{ID: 1, Code: CodeOK, Error: "x", Result: &Result{}},
 		"error with result":  Response{ID: 1, Code: CodeError, Error: "x", Result: &Result{}},
 		"error without msg":  Response{ID: 1, Code: CodeError},
+		"span unnamed": Response{ID: 1, Code: CodeError, Error: "x",
+			Spans: []Span{{TraceID: 1, ID: 2, SimEndNS: 5}}},
+		"span time-reversed": Response{ID: 1, Code: CodeError, Error: "x",
+			Spans: []Span{{TraceID: 1, ID: 2, Name: "s", SimStartNS: 10, SimEndNS: 5}}},
+		"span event unnamed": Response{ID: 1, Code: CodeError, Error: "x",
+			Spans: []Span{{TraceID: 1, ID: 2, Name: "s", Events: []SpanEvent{{SimNS: 1}}}}},
+		"metric unnamed": Metrics{ID: 1, Target: "t",
+			Samples: []MetricSample{{Kind: MetricCounter, Value: 1}}},
+		"metric bad kind": Metrics{ID: 1, Target: "t",
+			Samples: []MetricSample{{Name: "m", Kind: MetricKind(9)}}},
 	}
 	for name, f := range cases {
 		if _, err := Encode(f); err == nil {
@@ -142,6 +173,59 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	for name, b := range raw {
 		if _, err := Decode(b); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestVersion1Compat: frames from a version-1 peer — which carry no
+// trace context, spans, or metrics — still decode under the
+// dual-version window, because version 2 appended its trace fields
+// strictly at the end of the v1 bodies. A v1 payload must not smuggle
+// v2 bytes: trailing trace fields and the v2-only metrics frames are
+// rejected under version 1.
+func TestVersion1Compat(t *testing.T) {
+	// A v1 Request is the v2 encoding minus the trailing trace context
+	// (ID u64 + Parent u64 + Sampled bool = 17 bytes).
+	req := Request{ID: 3, Tenant: "a", Workload: "w", Policy: "p", DeadlineNS: 5,
+		Shards: []uint32{0, 1}}
+	enc := Append(nil, req)
+	v1 := append([]byte{1}, enc[1:len(enc)-17]...)
+	got, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 request: %v", err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Errorf("v1 request decoded to %+v, want %+v", got, req)
+	}
+
+	// A v1 Response is the v2 encoding minus the trailing empty span
+	// list (one zero uvarint byte).
+	resp := Response{ID: 4, Code: CodeError, Error: "x", ElapsedSimNS: 9,
+		Recovery: Recovery{Attempts: 2}}
+	enc = Append(nil, resp)
+	v1 = append([]byte{1}, enc[1:len(enc)-1]...)
+	got, err = Decode(v1)
+	if err != nil {
+		t.Fatalf("v1 response: %v", err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Errorf("v1 response decoded to %+v, want %+v", got, resp)
+	}
+
+	// A full v2 body relabeled as v1 has trailing junk the v1 grammar
+	// must refuse.
+	traced := Request{ID: 5, Workload: "w", Policy: "p",
+		Trace: TraceCtx{ID: 9, Sampled: true}}
+	enc = Append(nil, traced)
+	if _, err := Decode(append([]byte{1}, enc[1:]...)); err == nil {
+		t.Error("v1 payload with trailing v2 trace bytes accepted")
+	}
+
+	// The metrics frames do not exist in version 1 at all.
+	for _, f := range []Frame{MetricsReq{ID: 6}, Metrics{ID: 7, Target: "t"}} {
+		enc := Append(nil, f)
+		if _, err := Decode(append([]byte{1}, enc[1:]...)); err == nil {
+			t.Errorf("%T accepted in a version-1 payload", f)
 		}
 	}
 }

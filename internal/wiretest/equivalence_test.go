@@ -153,7 +153,13 @@ func TestRoutedByteIdenticalToInProcess(t *testing.T) {
 	}
 
 	acks := rt.DrainAll()
-	ack, ok := acks["t0"]
+	var ack wire.DrainAck
+	ok := false
+	for _, td := range acks {
+		if td.Target == "t0" {
+			ack, ok = td.Ack, true
+		}
+	}
 	if !ok {
 		t.Fatalf("no drain ack from t0 (acks: %v)", acks)
 	}

@@ -271,13 +271,13 @@ func TestDrainDuringTrafficNoLeakedForks(t *testing.T) {
 	if len(acks) == 0 {
 		t.Fatal("no drain acks from the fleet")
 	}
-	for name, ack := range acks {
-		for _, p := range ack.Pools {
+	for _, td := range acks {
+		for _, p := range td.Ack.Pools {
 			if !p.Closed {
-				t.Errorf("target %s: pool %s not closed after drain", name, p.Name)
+				t.Errorf("target %s: pool %s not closed after drain", td.Target, p.Name)
 			}
 			if p.Idle != 0 {
-				t.Errorf("target %s: pool %s leaked %d idle fork(s) after drain", name, p.Name, p.Idle)
+				t.Errorf("target %s: pool %s leaked %d idle fork(s) after drain", td.Target, p.Name, p.Idle)
 			}
 		}
 	}

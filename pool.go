@@ -158,10 +158,20 @@ func (p *DevicePool) refill() {
 // it returns ErrPoolClosed — never a silent inline clone of a deployment
 // whose serving lifecycle has ended.
 func (p *DevicePool) Get() (*ssd.Device, error) {
+	dev, _, err := p.get()
+	return dev, err
+}
+
+// get is Get plus the buffer-hit disposition. The tracing seam reports
+// hit vs. miss as a span event on the operational (wall-clocked)
+// timeline only: whether a particular Get wins the race against the
+// background refiller is scheduling-dependent, so the disposition must
+// never enter a deterministic trace.
+func (p *DevicePool) get() (*ssd.Device, bool, error) {
 	select {
 	case dev, ok := <-p.free:
 		if !ok {
-			return nil, ErrPoolClosed
+			return nil, false, ErrPoolClosed
 		}
 		// Hand the freed slot back to the refiller.
 		select {
@@ -169,16 +179,16 @@ func (p *DevicePool) Get() (*ssd.Device, error) {
 		default:
 		}
 		atomic.AddInt64(&p.hits, 1)
-		return dev, nil
+		return dev, true, nil
 	default:
 	}
 	select {
 	case <-p.stop:
-		return nil, ErrPoolClosed
+		return nil, false, ErrPoolClosed
 	default:
 	}
 	atomic.AddInt64(&p.misses, 1)
-	return p.dep.master.Clone(), nil
+	return p.dep.master.Clone(), false, nil
 }
 
 // Quarantine reports that a fork served from this pool turned out to be

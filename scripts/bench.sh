@@ -4,7 +4,7 @@
 # Runs the kernel microbenchmarks, the macro benchmarks (including the
 # open-loop serving path plus its fault-tolerant twin), a routed
 # 2-target fleet sweep over the wire tier, and writes the
-# machine-readable record the repo commits per PR (BENCH_pr9.json for
+# machine-readable record the repo commits per PR (BENCH_pr10.json for
 # this one). Usage:
 #
 #   scripts/bench.sh [out.json]
@@ -17,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 scale="${SCALE:-2}"
 benchtime="${BENCHTIME:-5x}"
 fleet_qps="${FLEET_QPS:-300}"
@@ -36,7 +36,7 @@ go test -run '^$' -bench 'BenchmarkEngineScheduleDrain|BenchmarkCalendarFastForw
 
 echo
 echo "== macro benchmarks"
-go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|BenchmarkClusterScatterGather|BenchmarkServeOpenLoopSubmit|BenchmarkServeFaultFree' \
+go test -run '^$' -bench 'BenchmarkFig4CaseStudy|BenchmarkDeviceRunHot|BenchmarkClusterScatterGather|BenchmarkServeOpenLoopSubmit|BenchmarkServeFaultFree|BenchmarkServeTraceOff' \
   -benchmem -benchtime "$benchtime" .
 
 echo

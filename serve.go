@@ -8,7 +8,9 @@ import (
 
 	"conduit/internal/faultinject"
 	"conduit/internal/histo"
+	"conduit/internal/metrics"
 	"conduit/internal/serve"
+	"conduit/internal/trace"
 	"conduit/internal/workloads"
 )
 
@@ -25,6 +27,21 @@ type (
 	// LatencyHistogram is a bounded log-linear wall-clock latency
 	// histogram (nanosecond samples, exactly mergeable; internal/histo).
 	LatencyHistogram = histo.Histogram
+	// TraceOptions configures the server's request tracer
+	// (internal/trace): sampling cadence, the optional wall-clock source,
+	// and the retained-trace bound. The zero value records only requests
+	// whose wire context demands sampling, and keeps every span on the
+	// deterministic simulated timeline.
+	TraceOptions = trace.Options
+	// TraceCtx is a propagated trace context: requests carrying one with
+	// Sampled set are recorded regardless of the sampling cadence, letting
+	// a router stitch fleet-wide traces out of per-target spans.
+	TraceCtx = trace.Ctx
+	// TraceSpan is one recorded span (see internal/trace for the span
+	// model and the dual-timeline rule).
+	TraceSpan = trace.Span
+	// MetricSample is one series in a metrics snapshot (internal/metrics).
+	MetricSample = metrics.Sample
 )
 
 // ErrDraining is returned by Server.Do and Server.Submit once Drain has
@@ -77,6 +94,11 @@ type ServeOptions struct {
 	// fault-tolerant path even without Faults, protecting against
 	// organic failures.
 	Recovery RecoveryOptions
+	// Trace arms the per-request tracer. Nil disables tracing entirely
+	// (the hot path pays one nil check). A non-nil value records a span
+	// tree for every sampled request — see TraceOptions for the cadence
+	// and Server.Tracer for retrieval.
+	Trace *TraceOptions
 }
 
 // application is the serving-layer view of a registered app: one-shot
@@ -85,6 +107,10 @@ type ServeOptions struct {
 // either transparently.
 type application interface {
 	Run(policy string) (*RunResult, error)
+	// runTraced is Run with span recording: shard scatter/gather and
+	// device runs become children of sp. A nil sp must behave exactly
+	// like Run.
+	runTraced(policy string, sp *trace.Span) (*RunResult, error)
 	Close()
 	// poolStats contributes the application's device-pool snapshots to
 	// out, keying each entry off the registered name (a cluster adds one
@@ -99,10 +125,11 @@ type application interface {
 // post-deploy clones, so sustained traffic never re-drives the deploy
 // path. All methods are safe for concurrent use.
 type Server struct {
-	sys  *System
-	opts ServeOptions
-	eng  *serve.Engine
-	inj  *faultinject.Injector // nil = no injection
+	sys    *System
+	opts   ServeOptions
+	eng    *serve.Engine
+	inj    *faultinject.Injector // nil = no injection
+	tracer *trace.Tracer         // nil = tracing disabled
 
 	mu       sync.Mutex
 	apps     map[string]application
@@ -133,11 +160,15 @@ func NewServer(cfg Config, opts ServeOptions) *Server {
 		opts.Coalesce, opts.Memoize = false, false
 		s.opts.Coalesce, s.opts.Memoize = false, false
 	}
+	if opts.Trace != nil {
+		s.tracer = trace.New(*opts.Trace)
+	}
 	s.eng = serve.NewEngine(serve.RunnerFunc(s.runCell), serve.Config{
 		Concurrency: opts.Concurrency,
 		QueueDepth:  opts.QueueDepth,
 		Coalesce:    opts.Coalesce,
 		Memoize:     opts.Memoize,
+		Tracer:      s.tracer,
 	})
 	return s
 }
@@ -249,8 +280,10 @@ func (s *Server) Applications() []string {
 
 // runCell is the serve.Runner backend: one request = one policy run on
 // pool-managed forks of the workload's deployment (every shard's, for a
-// clustered application).
-func (s *Server) runCell(workload, policy string) (serve.Outcome, error) {
+// clustered application). sp is the engine's execution span for the
+// request (nil when the request is unsampled); shard and device work
+// recorded under it stays on the simulated timeline.
+func (s *Server) runCell(workload, policy string, sp *trace.Span) (serve.Outcome, error) {
 	s.mu.Lock()
 	app := s.apps[workload]
 	ft := s.res[workload]
@@ -265,9 +298,9 @@ func (s *Server) runCell(workload, policy string) (serve.Outcome, error) {
 		err error
 	)
 	if ft != nil {
-		r, rec, err = ft.run(policy)
+		r, rec, err = ft.run(policy, sp)
 	} else {
-		r, err = app.Run(policy)
+		r, err = app.runTraced(policy, sp)
 	}
 	if err != nil {
 		// A failed request still reports its recovery accounting: the
@@ -388,4 +421,44 @@ func (s *Server) PoolStats() map[string]PoolStats {
 		app.poolStats(name, out)
 	}
 	return out
+}
+
+// Tracer returns the server's request tracer, or nil when ServeOptions.
+// Trace was not set. Retained traces are read via Tracer().Spans() (or
+// per-trace via Traces()); exporting is the caller's business — see
+// trace.WriteJSONL and trace.WritePerfetto.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// Metrics snapshots the server's unified metrics registry: per-tenant
+// serving counters and latency histograms (from the engine's accounting),
+// per-pool fork counters, and circuit-breaker state gauges. The registry
+// is filled at scrape time from the same authoritative counters the
+// report tables read, so scraping costs the hot path nothing. Samples are
+// sorted by series identity; merge fleet-wide with metrics.Registry.Add
+// after metrics.Relabel.
+func (s *Server) Metrics() []MetricSample {
+	reg := metrics.New()
+	s.eng.FillMetrics(reg)
+	pools := s.PoolStats()
+	names := make([]string, 0, len(pools))
+	for name := range pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps := pools[name]
+		lbl := metrics.Label{Key: "pool", Value: name}
+		reg.Count("conduit_pool_preforked_total", ps.Preforked, lbl)
+		reg.Count("conduit_pool_hits_total", ps.Hits, lbl)
+		reg.Count("conduit_pool_misses_total", ps.Misses, lbl)
+		reg.Count("conduit_pool_quarantined_total", ps.Quarantined, lbl)
+		reg.Count("conduit_pool_repairs_total", ps.Repairs, lbl)
+		reg.SetGauge("conduit_pool_idle", float64(ps.Idle), lbl)
+	}
+	for _, b := range s.Breakers() {
+		lbl := metrics.Label{Key: "breaker", Value: b.Name}
+		reg.SetGauge("conduit_breaker_state", float64(b.State), lbl)
+		reg.Count("conduit_breaker_trips_total", b.Trips, lbl)
+	}
+	return reg.Snapshot()
 }

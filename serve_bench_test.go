@@ -175,6 +175,56 @@ func BenchmarkServeFaultFree(b *testing.B) {
 	srv.Drain()
 }
 
+// BenchmarkServeTraceOff is the zero-overhead pin for the tracing seam:
+// the same open-loop stream as BenchmarkServeOpenLoopSubmit, served
+// through a Server with a tracer armed but sampling off — the
+// configuration every fleet target runs in. The disabled path is one
+// sampling check at admission; compare against
+// BenchmarkServeOpenLoopSubmit to hold it at noise.
+func BenchmarkServeTraceOff(b *testing.B) {
+	cfg := conduit.DefaultConfig()
+	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const wave = 4096
+	srv := conduit.NewServer(cfg, conduit.ServeOptions{
+		Concurrency: 2, QueueDepth: 2 * wave, Prefork: 2,
+		Trace: &conduit.TraceOptions{},
+	})
+	if err := srv.RegisterCompiled("serving", c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	chans := make([]<-chan *conduit.Response, 0, wave)
+	for submitted := 0; submitted < b.N; {
+		n := wave
+		if rest := b.N - submitted; rest < n {
+			n = rest
+		}
+		chans = chans[:0]
+		for i := 0; i < n; i++ {
+			ch, err := srv.Submit(conduit.Request{
+				Tenant:   "bench",
+				Workload: "serving",
+				Policy:   servePolicies[(submitted+i)%len(servePolicies)],
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans = append(chans, ch)
+		}
+		for _, ch := range chans {
+			if resp := <-ch; resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+		}
+		submitted += n
+	}
+	b.StopTimer()
+	srv.Drain()
+}
+
 func BenchmarkServePooled(b *testing.B) {
 	cfg := conduit.DefaultConfig()
 	c, err := conduit.Compile(servingSource(64, 2*16384), &cfg)

@@ -1,0 +1,193 @@
+package conduit_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	conduit "conduit"
+	"conduit/internal/trace"
+)
+
+// traceSchedule is the fixed request schedule the determinism tests
+// replay: a mix of tenants, a plain and a sharded application, and the
+// full policy spread, issued strictly sequentially so the admission
+// sequence — and therefore every locally minted trace ID — is the same
+// on every run.
+func traceSchedule() []conduit.Request {
+	var reqs []conduit.Request
+	policies := []string{"Conduit", "CPU", "Ideal"}
+	for i := 0; i < 8; i++ {
+		for _, w := range []string{"plain", "sharded"} {
+			reqs = append(reqs, conduit.Request{
+				Tenant:   fmt.Sprintf("tenant-%02d", i%3),
+				Workload: w,
+				Policy:   policies[i%len(policies)],
+			})
+		}
+	}
+	return reqs
+}
+
+// newTraceServer builds a server with the whole observability surface
+// armed: deterministic chaos, the recovery ladder, a sharded and an
+// unsharded application, and the given trace options.
+func newTraceServer(t *testing.T, topts *conduit.TraceOptions) *conduit.Server {
+	t.Helper()
+	faults := conduit.FaultsAtRate(0.15, 4, 7)
+	srv := conduit.NewServer(conduit.DefaultConfig(), conduit.ServeOptions{
+		Concurrency: 2,
+		Prefork:     1,
+		Faults:      &faults,
+		Recovery: conduit.RecoveryOptions{
+			MaxAttempts:      3,
+			Hedge:            true,
+			BreakerThreshold: 4,
+			FallbackPolicy:   "CPU",
+		},
+		Trace: topts,
+	})
+	if err := srv.Register("plain", quickstartSource(2*16384)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterSharded("sharded", xorFilterSource(2*16384), 2); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestTraceSameSeedByteIdentical is the tentpole determinism pin: two
+// fresh servers draining the same seed, fault schedule, and request
+// sequence export byte-identical simulated-time JSONL traces — fault
+// injections, retries, hedges, breaker events, shard fan-out and all.
+// The tracer is unclocked (Options.Now nil), so no wall-clock field can
+// leak in to break the identity.
+func TestTraceSameSeedByteIdentical(t *testing.T) {
+	run := func() []byte {
+		srv := newTraceServer(t, &conduit.TraceOptions{SampleEvery: 1})
+		defer srv.Drain()
+		for _, req := range traceSchedule() {
+			srv.Do(req) // chaos responses may fail; the trace records that too
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, srv.Tracer().Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("traced run exported no spans")
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("same-seed traces differ across fresh servers\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+	for _, want := range []string{`"serve.request"`, `"serve.run"`, `"cluster.shard"`, `"fault_injected"`} {
+		if !bytes.Contains(first, []byte(want)) {
+			t.Errorf("trace export missing %s", want)
+		}
+	}
+	if bytes.Contains(first, []byte(`"wall_`)) {
+		t.Error("unclocked trace export leaked a wall-clock field")
+	}
+}
+
+// TestTraceOffOutputIdenticalToUntraced is the zero-sampling identity:
+// a server armed with a tracer at SampleEvery 0 (the wire-deferred
+// default every target runs with) must serve responses and simulated
+// accounting identical to a server with no tracer at all — over the
+// same golden request suite. Wall-clock latency columns are excluded:
+// they differ between ANY two runs, traced or not.
+func TestTraceOffOutputIdenticalToUntraced(t *testing.T) {
+	type outcome struct {
+		key     resultKey
+		errText string
+	}
+	// simTenant is the deterministic projection of a tenant snapshot —
+	// everything except the wall-clock latency quantiles.
+	type simTenant struct {
+		Tenant                                            string
+		Requests, Errors, Shed, Expired, Shared, Attained int64
+		Recovery                                          conduit.Recovery
+		Sim                                               conduit.Time
+		EnergyJ                                           float64
+	}
+	run := func(topts *conduit.TraceOptions) ([]outcome, []simTenant, *conduit.Server) {
+		srv := newTraceServer(t, topts)
+		var outs []outcome
+		for _, req := range traceSchedule() {
+			resp, err := srv.Do(req)
+			o := outcome{}
+			if err != nil {
+				o.errText = err.Error()
+			} else if resp.Err != nil {
+				o.errText = resp.Err.Error()
+			} else {
+				o.key = keyOf(conduit.ResultOf(resp))
+			}
+			outs = append(outs, o)
+		}
+		srv.Drain()
+		var tenants []simTenant
+		for _, ts := range srv.Tenants() {
+			tenants = append(tenants, simTenant{
+				Tenant: ts.Tenant, Requests: ts.Requests, Errors: ts.Errors,
+				Shed: ts.Shed, Expired: ts.Expired, Shared: ts.Shared,
+				Attained: ts.Attained, Recovery: ts.Recovery,
+				Sim: ts.Sim, EnergyJ: ts.EnergyJ,
+			})
+		}
+		return outs, tenants, srv
+	}
+	wantOuts, wantTenants, _ := run(nil)
+	gotOuts, gotTenants, srv := run(&conduit.TraceOptions{})
+	if !reflect.DeepEqual(gotOuts, wantOuts) {
+		t.Errorf("trace-off responses differ from untraced\n got: %+v\nwant: %+v", gotOuts, wantOuts)
+	}
+	if !reflect.DeepEqual(gotTenants, wantTenants) {
+		t.Errorf("trace-off tenant accounting differs from untraced\n got: %+v\nwant: %+v",
+			gotTenants, wantTenants)
+	}
+	if spans := srv.Tracer().Spans(); len(spans) != 0 {
+		t.Errorf("SampleEvery=0 recorded %d spans without a wire sampling bit", len(spans))
+	}
+}
+
+// TestMetricsSnapshotMatchesAccounting: the fill-at-scrape registry is
+// a projection of the same authoritative counters the report reads —
+// per-tenant requests, pool quarantine/repair cycles, breaker trips.
+func TestMetricsSnapshotMatchesAccounting(t *testing.T) {
+	srv := newTraceServer(t, nil)
+	defer srv.Drain()
+	for _, req := range traceSchedule() {
+		srv.Do(req)
+	}
+	samples := srv.Metrics()
+	byKey := make(map[string]float64)
+	for _, s := range samples {
+		key := s.Name
+		for _, l := range s.Labels {
+			key += "|" + l.Key + "=" + l.Value
+		}
+		byKey[key] = s.Value
+	}
+	for _, ts := range srv.Tenants() {
+		if got := byKey["conduit_serve_requests_total|tenant="+ts.Tenant]; got != float64(ts.Requests) {
+			t.Errorf("tenant %s: scrape says %v requests, accounting says %d", ts.Tenant, got, ts.Requests)
+		}
+	}
+	pools := srv.PoolStats()
+	if len(pools) == 0 {
+		t.Fatal("no pools to scrape")
+	}
+	for name, ps := range pools {
+		if got := byKey["conduit_pool_quarantined_total|pool="+name]; got != float64(ps.Quarantined) {
+			t.Errorf("pool %s: scrape says %v quarantined, stats say %d", name, got, ps.Quarantined)
+		}
+		if got := byKey["conduit_pool_repairs_total|pool="+name]; got != float64(ps.Repairs) {
+			t.Errorf("pool %s: scrape says %v repairs, stats say %d", name, got, ps.Repairs)
+		}
+	}
+}
